@@ -1,0 +1,89 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+1. importance decay base (Algorithm 1 fixes base 2);
+2. hierarchical vs trivial initial layout for Merge-to-Root;
+3. importance ordering vs original ordering of the compressed ansatz;
+4. X-Tree size scaling.
+"""
+
+from conftest import full_scope
+
+from repro.ansatz import build_uccsd_program
+from repro.bench.ablation import (
+    decay_base_ablation,
+    layout_ablation,
+    ordering_ablation,
+    tree_size_sweep,
+)
+from repro.bench.reporting import format_table
+from repro.chem import build_molecule_hamiltonian
+from repro.core import compress_ansatz
+
+
+def test_decay_base(benchmark):
+    results = benchmark.pedantic(
+        decay_base_ablation, args=("LiH",), iterations=1, rounds=1
+    )
+    print()
+    print(
+        format_table(
+            ["decay base", "|E - E0| (Ha)", "iterations"],
+            [[r.decay_base, r.energy_error, r.iterations] for r in results],
+            title="Importance decay-base ablation (LiH @ 50%)",
+        )
+    )
+    # Every base must keep the 50% ansatz accurate to a few mHa on LiH.
+    assert all(r.energy_error < 5e-3 for r in results)
+
+
+def test_initial_layout(benchmark):
+    molecule = "H2O" if full_scope() else "NaH"
+    results = benchmark.pedantic(
+        layout_ablation, args=(molecule,), iterations=1, rounds=1
+    )
+    print()
+    print(
+        format_table(
+            ["ratio", "hierarchical swaps", "trivial swaps"],
+            [[r.ratio, r.hierarchical_swaps, r.trivial_swaps] for r in results],
+            title=f"Initial-layout ablation ({molecule}, MtR on XTree17Q)",
+        )
+    )
+    # The hierarchical layout never loses in total.
+    total_hier = sum(r.hierarchical_swaps for r in results)
+    total_trivial = sum(r.trivial_swaps for r in results)
+    assert total_hier <= total_trivial
+
+
+def test_importance_ordering(benchmark):
+    results = benchmark.pedantic(
+        ordering_ablation, args=("NaH",), iterations=1, rounds=1
+    )
+    print()
+    print(
+        format_table(
+            ["ratio", "importance-ordered swaps", "original-order swaps"],
+            [
+                [r.ratio, r.importance_ordered_swaps, r.original_ordered_swaps]
+                for r in results
+            ],
+            title="Ansatz-ordering ablation (NaH, MtR on XTree17Q)",
+        )
+    )
+
+
+def test_tree_size_scaling(benchmark):
+    problem = build_molecule_hamiltonian("NaH")
+    program = build_uccsd_program(problem).program
+    compressed = compress_ansatz(program, problem.hamiltonian, 0.9).program
+    results = benchmark.pedantic(
+        tree_size_sweep, args=(compressed,), iterations=1, rounds=1
+    )
+    print()
+    print(
+        format_table(
+            ["XTree size", "MtR swaps"],
+            sorted(results.items()),
+            title="Architecture-size ablation (NaH @ 90%)",
+        )
+    )

@@ -1,0 +1,37 @@
+"""Figure 11 regeneration: fabrication yield, XTree17Q vs Grid17Q.
+
+Shape targets from the paper: yield decreases with worse fabrication
+precision, and the 16-connection X-Tree beats the 24-connection grid by
+a factor in the "about 8x" range.
+"""
+
+from repro.bench import fig11_data, format_table
+from repro.bench.fig11 import mean_advantage
+
+
+def test_fig11_yield(benchmark, scope_trials):
+    comparisons = benchmark.pedantic(
+        fig11_data, kwargs={"trials": scope_trials}, iterations=1, rounds=1
+    )
+    rows = [
+        [c.precision, c.xtree_yield, c.grid_yield, c.advantage] for c in comparisons
+    ]
+    print()
+    print(
+        format_table(
+            ["precision (GHz)", "XTree17Q yield", "Grid17Q yield", "XTree/Grid"],
+            rows,
+            title="Figure 11 (paper: ~8x XTree advantage)",
+        )
+    )
+    print(f"geometric-mean advantage: {mean_advantage(comparisons):.2f}x")
+
+    # Yield decreases with worse precision for the X-Tree.
+    xtree_rates = [c.xtree_yield for c in comparisons]
+    assert xtree_rates[0] > xtree_rates[-1]
+    # The X-Tree dominates the grid wherever either is measurable.
+    for comparison in comparisons:
+        if comparison.grid_yield > 0:
+            assert comparison.xtree_yield >= comparison.grid_yield
+    advantage = mean_advantage(comparisons)
+    assert advantage > 2.0, f"expected a clear X-Tree advantage, got {advantage:.2f}x"

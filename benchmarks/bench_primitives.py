@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the performance-critical primitives.
+
+These are classic pytest-benchmark timings (many rounds) for the kernels
+the experiment harness leans on: Pauli algebra, statevector evolution,
+grouped expectation, Merge-to-Root compilation and SABRE routing.
+"""
+
+import numpy as np
+
+from repro.ansatz import build_uccsd_program
+from repro.chem import build_molecule_hamiltonian
+from repro.compiler import MergeToRootCompiler, SabreRouter, synthesize_program_chain
+from repro.core import compress_ansatz
+from repro.hardware import xtree
+from repro.pauli import PauliString
+from repro.sim import ExpectationEngine, basis_state
+from repro.sim.pauli_evolution import evolve_pauli_sequence
+
+
+def test_pauli_compose_speed(benchmark):
+    a = PauliString.from_label("XIYZXZIYXIYZXZIY")
+    b = PauliString.from_label("ZZXYIIXYZZXYIIXY")
+    benchmark(a.compose, b)
+
+
+def test_ansatz_evolution_speed(benchmark):
+    problem = build_molecule_hamiltonian("H2O")
+    program = build_uccsd_program(problem).program
+    terms = program.bound_terms(np.full(program.num_parameters, 0.05))
+    state = basis_state(program.num_qubits, problem.hartree_fock_state_index())
+    benchmark(evolve_pauli_sequence, terms, state)
+
+
+def test_expectation_engine_speed(benchmark):
+    problem = build_molecule_hamiltonian("H2O")
+    engine = ExpectationEngine(problem.hamiltonian)
+    state = basis_state(problem.num_qubits, problem.hartree_fock_state_index())
+    benchmark(engine.value, state)
+
+
+def test_merge_to_root_compile_speed(benchmark):
+    problem = build_molecule_hamiltonian("H2O")
+    program = build_uccsd_program(problem).program
+    compressed = compress_ansatz(program, problem.hamiltonian, 0.5).program
+    compiler = MergeToRootCompiler(xtree(17))
+    benchmark(compiler.compile, compressed)
+
+
+def test_sabre_routing_speed(benchmark):
+    problem = build_molecule_hamiltonian("NaH")
+    program = build_uccsd_program(problem).program
+    compressed = compress_ansatz(program, problem.hamiltonian, 0.5).program
+    chain = synthesize_program_chain(compressed, [0.0] * compressed.num_parameters)
+    router = SabreRouter(xtree(17))
+    benchmark.pedantic(router.run, args=(chain,), iterations=1, rounds=3)
+
+
+def test_hamiltonian_construction_speed(benchmark):
+    """Full substrate pipeline timing (integrals + SCF + JW), uncached."""
+    from repro.chem.hamiltonian import _build_cached
+
+    def build():
+        _build_cached.cache_clear()
+        return _build_cached("LiH", 15950)
+
+    benchmark.pedantic(build, iterations=1, rounds=3)

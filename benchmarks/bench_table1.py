@@ -1,0 +1,49 @@
+"""Table I regeneration: benchmark molecules and original UCCSD cost.
+
+Run with ``pytest benchmarks/bench_table1.py --benchmark-only -s`` to see
+the side-by-side comparison with the published table.
+"""
+
+from conftest import full_scope
+
+from repro.bench import TABLE1_PAPER, format_table, table1_rows
+
+
+def _molecules() -> list[str]:
+    if full_scope():
+        return list(TABLE1_PAPER)
+    return ["H2", "LiH", "NaH", "HF", "BeH2", "H2O"]
+
+
+def test_table1(benchmark):
+    molecules = _molecules()
+    rows = benchmark.pedantic(table1_rows, args=(molecules,), iterations=1, rounds=1)
+    printable = []
+    for row in rows:
+        paper = TABLE1_PAPER[row.molecule]
+        printable.append(
+            [
+                row.molecule,
+                f"{row.num_qubits}/{paper[0]}",
+                f"{row.num_pauli}/{paper[1]}",
+                f"{row.num_parameters}/{paper[2]}",
+                f"{row.num_gates}/{paper[3]}",
+                f"{row.num_cnots}/{paper[4]}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["molecule", "qubits", "#Pauli", "#params", "#gates", "#CNOTs"],
+            printable,
+            title="Table I (ours/paper)",
+        )
+    )
+    for row in rows:
+        paper = TABLE1_PAPER[row.molecule]
+        assert row.num_qubits == paper[0]
+        assert row.num_pauli == paper[1]
+        assert row.num_parameters == paper[2]
+        assert row.num_cnots == paper[4]
+        # Total gates match within the X-gate counting convention (<= 8).
+        assert abs(row.num_gates - paper[3]) <= 8

@@ -1,0 +1,89 @@
+"""Table II regeneration: mapping overhead of the three compilation flows.
+
+Columns per molecule x ratio: original CNOTs (chain synthesis of the
+compressed ansatz), Merge-to-Root overhead on XTree17Q, SABRE overhead on
+XTree17Q, SABRE overhead on Grid17Q.  Shape targets:
+
+* MtR overhead is a tiny fraction of the original count (paper: ~1.4%
+  on average) and of SABRE's overhead (~1%);
+* SABRE on the sparse X-Tree is the worst flow (~177% of original);
+* SABRE improves on the denser grid but still loses to MtR.
+"""
+
+import numpy as np
+from conftest import full_scope
+
+from repro.bench import PAPER_RATIOS, format_table
+from repro.bench.table2 import TABLE2_PAPER, table2_rows
+
+
+def _molecules() -> list[str]:
+    if full_scope():
+        return list(TABLE2_PAPER)
+    return ["H2", "LiH", "NaH", "HF"]
+
+
+def test_table2_mapping_overhead(benchmark):
+    molecules = _molecules()
+    rows = benchmark.pedantic(
+        table2_rows, args=(molecules, PAPER_RATIOS), iterations=1, rounds=1
+    )
+    printable = []
+    for row in rows:
+        paper = TABLE2_PAPER[row.molecule][row.ratio]
+        printable.append(
+            [
+                row.molecule,
+                f"{row.ratio:.0%}",
+                f"{row.original_cnots}/{paper[0]}",
+                f"{row.mtr_xtree_overhead}/{paper[1]}",
+                f"{row.sabre_xtree_overhead}/{paper[2]}",
+                f"{row.sabre_grid_overhead}/{paper[3]}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["molecule", "ratio", "original", "MtR@XTree", "SABRE@XTree", "SABRE@Grid"],
+            printable,
+            title="Table II, ours/paper (CNOT overheads)",
+        )
+    )
+
+    mtr_ratios = []
+    mtr_vs_sabre = []
+    for row in rows:
+        # MtR on the tree never exceeds a small fraction of the circuit.
+        if row.original_cnots:
+            mtr_ratios.append(row.mtr_xtree_overhead / row.original_cnots)
+        if row.sabre_xtree_overhead:
+            mtr_vs_sabre.append(row.mtr_xtree_overhead / row.sabre_xtree_overhead)
+        # SABRE on the sparse tree is never better than MtR.
+        assert row.mtr_xtree_overhead <= row.sabre_xtree_overhead
+    print(f"mean MtR overhead ratio: {np.mean(mtr_ratios):.2%} (paper ~1.4%)")
+    print(f"mean MtR/SABRE@XTree:    {np.mean(mtr_vs_sabre):.2%} (paper ~1%)")
+    assert np.mean(mtr_ratios) < 0.10
+    assert np.mean(mtr_vs_sabre) < 0.15
+
+
+def test_locality_jump_70_to_90(benchmark):
+    """Section VI-F: MtR overhead grows faster from 70% -> 90% than from
+    50% -> 70% (late, unimportant strings have poor locality)."""
+    molecules = ["LiH", "NaH", "HF"] if not full_scope() else list(TABLE2_PAPER)
+    rows = benchmark.pedantic(
+        table2_rows,
+        args=(molecules, (0.5, 0.7, 0.9)),
+        kwargs={"include_grid": False},
+        iterations=1,
+        rounds=1,
+    )
+    by_molecule: dict[str, dict[float, int]] = {}
+    for row in rows:
+        by_molecule.setdefault(row.molecule, {})[row.ratio] = row.mtr_xtree_overhead
+    jumps_low, jumps_high = [], []
+    for molecule, by_ratio in by_molecule.items():
+        jumps_low.append(by_ratio[0.7] - by_ratio[0.5])
+        jumps_high.append(by_ratio[0.9] - by_ratio[0.7])
+    print(f"\nmean overhead increment 50->70%: {np.mean(jumps_low):.1f} CNOTs")
+    print(f"mean overhead increment 70->90%: {np.mean(jumps_high):.1f} CNOTs")
+    assert np.mean(jumps_high) >= np.mean(jumps_low)

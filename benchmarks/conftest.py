@@ -1,0 +1,28 @@
+"""Shared benchmark configuration.
+
+``REPRO_FULL=1`` widens every benchmark to the paper's full scope (all
+nine molecules, all ratios, more Monte-Carlo trials).  The default scope
+is chosen to finish in minutes on a laptop while exercising every code
+path and reproducing every qualitative shape.
+"""
+
+import os
+
+import pytest
+
+
+def full_scope() -> bool:
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def scope_molecules() -> list[str]:
+    """Molecules used by the expensive sweeps."""
+    if full_scope():
+        return ["H2", "LiH", "NaH", "HF", "BeH2", "H2O", "BH3", "NH3", "CH4"]
+    return ["H2", "LiH", "NaH"]
+
+
+@pytest.fixture(scope="session")
+def scope_trials() -> int:
+    return 20000 if full_scope() else 2000

@@ -1,0 +1,19 @@
+"""repro -- reproduction of the ISCA 2021 paper "Software-Hardware
+Co-Optimization for Computational Chemistry on Superconducting Quantum
+Processors" (Li, Shi, Javadi-Abhari).
+
+The public API re-exports the main entry points of each layer:
+
+* chemistry substrate:   :func:`repro.chem.build_molecule_hamiltonian`
+* ansatz:                :class:`repro.ansatz.UCCSDAnsatz`
+* contribution 1:        :func:`repro.core.compress_ansatz`
+* contribution 2:        :func:`repro.hardware.xtree`, :func:`repro.hardware.grid17q`
+* contribution 3:        :class:`repro.compiler.MergeToRootCompiler`
+* VQE driver:            :class:`repro.vqe.VQE`
+"""
+
+from repro.pauli import PauliString, PauliSum
+
+__version__ = "1.0.0"
+
+__all__ = ["PauliString", "PauliSum", "__version__"]

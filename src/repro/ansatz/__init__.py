@@ -1,0 +1,12 @@
+"""UCCSD ansatz construction (the paper's "standard" chemistry ansatz).
+
+* :mod:`repro.ansatz.excitations` enumerates single and double
+  excitations over the active space (blocked spin ordering).
+* :mod:`repro.ansatz.uccsd` maps each excitation through Jordan-Wigner
+  into the Pauli-string IR, one shared parameter per excitation.
+"""
+
+from repro.ansatz.excitations import Excitation, generate_excitations
+from repro.ansatz.uccsd import UCCSDAnsatz, build_uccsd_program
+
+__all__ = ["Excitation", "generate_excitations", "UCCSDAnsatz", "build_uccsd_program"]

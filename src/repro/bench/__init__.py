@@ -1,0 +1,33 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each module produces the rows/series of one evaluation artifact:
+
+* :mod:`repro.bench.table1` -- benchmark molecules and original UCCSD cost;
+* :mod:`repro.bench.fig9`   -- accuracy and convergence vs compression;
+* :mod:`repro.bench.fig10`  -- noisy case studies (LiH, NaH);
+* :mod:`repro.bench.fig11`  -- fabrication yield, XTree17Q vs Grid17Q;
+* :mod:`repro.bench.table2` -- mapping overhead of the three flows;
+* :mod:`repro.bench.ablation` -- design-choice ablations (ours).
+
+Modules print the same row/series structure the paper reports so shapes
+can be compared side by side; EXPERIMENTS.md records one full run.
+"""
+
+from repro.bench.reporting import format_table
+from repro.bench.table1 import table1_rows, TABLE1_PAPER
+from repro.bench.table2 import table2_rows, PAPER_RATIOS
+from repro.bench.fig9 import fig9_data, convergence_speedups
+from repro.bench.fig10 import fig10_data
+from repro.bench.fig11 import fig11_data
+
+__all__ = [
+    "format_table",
+    "table1_rows",
+    "TABLE1_PAPER",
+    "table2_rows",
+    "PAPER_RATIOS",
+    "fig9_data",
+    "convergence_speedups",
+    "fig10_data",
+    "fig11_data",
+]

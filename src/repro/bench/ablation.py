@@ -1,0 +1,154 @@
+"""Design-choice ablations (beyond the paper's own tables).
+
+Three knobs the paper fixes are swept here:
+
+* **decay base** of the importance metric (paper: 2.0);
+* **initial layout** for Merge-to-Root (hierarchical vs trivial);
+* **swap lookahead** in Merge-to-Root (paper's future-occurrence rule vs
+  arbitrary choice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ansatz.uccsd import build_uccsd_program
+from repro.chem.hamiltonian import build_molecule_hamiltonian
+from repro.compiler.layout import hierarchical_initial_layout, trivial_layout
+from repro.compiler.merge_to_root import MergeToRootCompiler
+from repro.core.compression import compress_ansatz
+from repro.core.ir import PauliProgram
+from repro.hardware.xtree import xtree
+from repro.sim.exact import ground_state_energy
+from repro.vqe.runner import VQE
+
+
+@dataclass
+class DecayBaseResult:
+    molecule: str
+    decay_base: float
+    ratio: float
+    energy_error: float
+    iterations: int
+
+
+def decay_base_ablation(
+    molecule: str,
+    bases: tuple[float, ...] = (1.5, 2.0, 4.0, 16.0),
+    *,
+    ratio: float = 0.5,
+    max_iterations: int = 200,
+) -> list[DecayBaseResult]:
+    """Energy error of the compressed ansatz for different decay bases."""
+    problem = build_molecule_hamiltonian(molecule)
+    program = build_uccsd_program(problem).program
+    exact = ground_state_energy(problem.hamiltonian)
+    results = []
+    for base in bases:
+        compressed = compress_ansatz(
+            program, problem.hamiltonian, ratio, decay_base=base
+        )
+        outcome = VQE(
+            compressed.program, problem.hamiltonian, max_iterations=max_iterations
+        ).run()
+        results.append(
+            DecayBaseResult(
+                molecule=molecule,
+                decay_base=base,
+                ratio=ratio,
+                energy_error=abs(outcome.energy - exact),
+                iterations=outcome.iterations,
+            )
+        )
+    return results
+
+
+@dataclass
+class LayoutAblationResult:
+    molecule: str
+    ratio: float
+    hierarchical_swaps: int
+    trivial_swaps: int
+
+    @property
+    def layout_benefit(self) -> float:
+        if self.hierarchical_swaps == 0:
+            return float("inf") if self.trivial_swaps else 1.0
+        return self.trivial_swaps / self.hierarchical_swaps
+
+
+def layout_ablation(
+    molecule: str, ratios: tuple[float, ...] = (0.3, 0.5, 0.9)
+) -> list[LayoutAblationResult]:
+    """MtR swap counts under hierarchical vs trivial initial layout."""
+    problem = build_molecule_hamiltonian(molecule)
+    program = build_uccsd_program(problem).program
+    device = xtree(17)
+    compiler = MergeToRootCompiler(device)
+    results = []
+    for ratio in ratios:
+        compressed = compress_ansatz(program, problem.hamiltonian, ratio).program
+        hierarchical = compiler.compile(
+            compressed, initial_layout=hierarchical_initial_layout(compressed, device)
+        )
+        trivial = compiler.compile(
+            compressed, initial_layout=trivial_layout(compressed, device)
+        )
+        results.append(
+            LayoutAblationResult(
+                molecule=molecule,
+                ratio=ratio,
+                hierarchical_swaps=hierarchical.num_swaps,
+                trivial_swaps=trivial.num_swaps,
+            )
+        )
+    return results
+
+
+@dataclass
+class OrderingAblationResult:
+    molecule: str
+    ratio: float
+    importance_ordered_swaps: int
+    original_ordered_swaps: int
+
+
+def ordering_ablation(
+    molecule: str, ratios: tuple[float, ...] = (0.3, 0.5, 0.9)
+) -> list[OrderingAblationResult]:
+    """Does importance-*ordering* (not just selection) reduce overhead?
+
+    Compares MtR swaps for the compressed ansatz in importance order (the
+    paper's construction) vs the same parameters in their original UCCSD
+    order.
+    """
+    problem = build_molecule_hamiltonian(molecule)
+    program = build_uccsd_program(problem).program
+    device = xtree(17)
+    compiler = MergeToRootCompiler(device)
+    results = []
+    for ratio in ratios:
+        compressed = compress_ansatz(program, problem.hamiltonian, ratio)
+        importance_ordered = compressed.program
+        original_order = program.restricted_to(sorted(compressed.kept_parameters))
+        a = compiler.compile(importance_ordered)
+        b = compiler.compile(original_order)
+        results.append(
+            OrderingAblationResult(
+                molecule=molecule,
+                ratio=ratio,
+                importance_ordered_swaps=a.num_swaps,
+                original_ordered_swaps=b.num_swaps,
+            )
+        )
+    return results
+
+
+def tree_size_sweep(program: PauliProgram, sizes: tuple[int, ...] = (17, 26, 33)):
+    """MtR overhead as the X-Tree grows (architecture-scaling ablation)."""
+    results = {}
+    for size in sizes:
+        device = xtree(size)
+        compiled = MergeToRootCompiler(device).compile(program)
+        results[size] = compiled.num_swaps
+    return results

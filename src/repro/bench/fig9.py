@@ -1,0 +1,127 @@
+"""Figure 9: accuracy and iteration count vs parameter-compression ratio.
+
+The paper's figure has three rows per molecule over bond lengths:
+simulated energy, energy difference to the true ground state, and
+outer-loop iterations; configurations are 10/30/50/70/90% compression,
+the random-50% baseline and full UCCSD.  ``fig9_data`` produces the same
+series, and ``convergence_speedups`` the Section VI-C headline numbers
+(14.3x / 4.8x / 2.5x / 1.6x / 1.1x on average, ~0.05% error at 50%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chem.molecules import molecule_by_name
+from repro.vqe.scan import ScanPoint, bond_scan
+
+#: The figure's configurations.
+DEFAULT_CONFIGURATIONS = ["10%", "30%", "50%", "70%", "90%", "full", "rand50%"]
+
+
+@dataclass
+class Fig9Summary:
+    """Aggregate view of one (molecule, configuration) series."""
+
+    molecule: str
+    configuration: str
+    mean_error: float
+    max_error: float
+    mean_relative_error: float
+    mean_iterations: float
+    speedup_vs_full: float
+
+
+def default_bond_lengths(molecule: str, count: int = 3, spread: float = 0.2) -> list[float]:
+    """Bond lengths bracketing equilibrium (the paper samples every 0.1 A)."""
+    equilibrium = molecule_by_name(molecule).equilibrium_bond_length
+    if count == 1:
+        return [round(equilibrium, 3)]
+    offsets = np.linspace(-spread, spread, count)
+    return [round(equilibrium + o, 3) for o in offsets]
+
+
+def fig9_data(
+    molecules: list[str],
+    *,
+    configurations: list[str] | None = None,
+    bond_lengths: dict[str, list[float]] | None = None,
+    points_per_molecule: int = 3,
+    max_iterations: int = 200,
+    random_repeats: int = 5,
+) -> list[ScanPoint]:
+    """Run the accuracy/convergence sweep.
+
+    The random baseline is repeated ``random_repeats`` times with
+    different seeds (the paper reports mean and standard deviation of
+    five random selections).
+    """
+    configurations = configurations or DEFAULT_CONFIGURATIONS
+    points: list[ScanPoint] = []
+    for molecule in molecules:
+        lengths = (bond_lengths or {}).get(
+            molecule, default_bond_lengths(molecule, points_per_molecule)
+        )
+        plain = [c for c in configurations if not c.startswith("rand")]
+        random_configs = [c for c in configurations if c.startswith("rand")]
+        points.extend(
+            bond_scan(molecule, lengths, plain, max_iterations=max_iterations)
+        )
+        for config in random_configs:
+            for repeat in range(random_repeats):
+                points.extend(
+                    bond_scan(
+                        molecule,
+                        lengths,
+                        [config],
+                        max_iterations=max_iterations,
+                        seed=1000 + repeat,
+                    )
+                )
+    return points
+
+
+def summarize(points: list[ScanPoint]) -> list[Fig9Summary]:
+    """Collapse scan points into per-(molecule, configuration) summaries."""
+    by_key: dict[tuple[str, str], list[ScanPoint]] = {}
+    for point in points:
+        by_key.setdefault((point.molecule, point.configuration), []).append(point)
+    summaries = []
+    for (molecule, configuration), group in sorted(by_key.items()):
+        full = by_key.get((molecule, "full"), [])
+        full_iterations = (
+            np.mean([p.iterations for p in full]) if full else float("nan")
+        )
+        iterations = float(np.mean([p.iterations for p in group]))
+        summaries.append(
+            Fig9Summary(
+                molecule=molecule,
+                configuration=configuration,
+                mean_error=float(np.mean([abs(p.error) for p in group])),
+                max_error=float(np.max([abs(p.error) for p in group])),
+                mean_relative_error=float(
+                    np.mean([p.relative_error for p in group])
+                ),
+                mean_iterations=iterations,
+                speedup_vs_full=(
+                    full_iterations / iterations if iterations else float("nan")
+                ),
+            )
+        )
+    return summaries
+
+
+def convergence_speedups(points: list[ScanPoint]) -> dict[str, float]:
+    """Average iteration-count speedup of each configuration vs full UCCSD
+    (the Section VI-C headline: 14.3/4.8/2.5/1.6/1.1x for 10..90%)."""
+    summaries = summarize(points)
+    by_config: dict[str, list[float]] = {}
+    for summary in summaries:
+        if summary.configuration == "full" or np.isnan(summary.speedup_vs_full):
+            continue
+        by_config.setdefault(summary.configuration, []).append(summary.speedup_vs_full)
+    return {
+        config: float(np.mean(values)) for config, values in sorted(by_config.items())
+    }

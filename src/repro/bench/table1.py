@@ -1,0 +1,58 @@
+"""Table I: benchmark molecules and their original full-UCCSD cost."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ansatz.uccsd import build_uccsd_program
+from repro.chem.hamiltonian import build_molecule_hamiltonian
+from repro.chem.molecules import BENCHMARK_MOLECULES
+
+#: The paper's Table I: (qubits, #Pauli, #params, #gates, #CNOTs).
+TABLE1_PAPER: dict[str, tuple[int, int, int, int, int]] = {
+    "H2": (4, 12, 3, 150, 56),
+    "LiH": (6, 40, 8, 610, 280),
+    "NaH": (8, 84, 15, 1476, 768),
+    "HF": (10, 144, 24, 2856, 1616),
+    "BeH2": (12, 640, 92, 13704, 8064),
+    "H2O": (12, 640, 92, 13704, 8064),
+    "BH3": (14, 1488, 204, 34280, 21072),
+    "NH3": (14, 1488, 204, 34280, 21072),
+    "CH4": (16, 2688, 360, 66312, 42368),
+}
+
+
+@dataclass
+class Table1Row:
+    molecule: str
+    num_qubits: int
+    num_pauli: int
+    num_parameters: int
+    num_gates: int
+    num_cnots: int
+
+    def as_tuple(self) -> tuple[int, int, int, int, int]:
+        return (
+            self.num_qubits,
+            self.num_pauli,
+            self.num_parameters,
+            self.num_gates,
+            self.num_cnots,
+        )
+
+
+def table1_row(molecule: str) -> Table1Row:
+    problem = build_molecule_hamiltonian(molecule)
+    program = build_uccsd_program(problem).program
+    return Table1Row(
+        molecule=molecule,
+        num_qubits=problem.num_qubits,
+        num_pauli=len(program),
+        num_parameters=program.num_parameters,
+        num_gates=program.gate_count(),
+        num_cnots=program.cnot_count(),
+    )
+
+
+def table1_rows(molecules: list[str] | None = None) -> list[Table1Row]:
+    return [table1_row(name) for name in (molecules or BENCHMARK_MOLECULES)]

@@ -1,0 +1,119 @@
+"""Table II: mapping overhead of MtR vs SABRE on XTree17Q / Grid17Q."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ansatz.uccsd import build_uccsd_program
+from repro.chem.hamiltonian import build_molecule_hamiltonian
+from repro.compiler.metrics import mapping_overhead
+from repro.core.compression import compress_ansatz
+from repro.hardware.grid import grid17q
+from repro.hardware.xtree import xtree
+
+#: The compression ratios tabulated by the paper.
+PAPER_RATIOS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+#: The paper's Table II, for side-by-side comparison in reports:
+#: molecule -> ratio -> (original, mtr_xtree, sabre_xtree, sabre_grid).
+TABLE2_PAPER: dict[str, dict[float, tuple[int, int, int, int]]] = {
+    "H2": {
+        0.1: (48, 0, 0, 0), 0.3: (48, 0, 0, 0), 0.5: (52, 0, 0, 0),
+        0.7: (56, 6, 0, 0), 0.9: (56, 6, 0, 0),
+    },
+    "LiH": {
+        0.1: (80, 0, 48, 0), 0.3: (208, 6, 126, 6), 0.5: (256, 6, 132, 9),
+        0.7: (272, 12, 150, 15), 0.9: (280, 18, 168, 18),
+    },
+    "NaH": {
+        0.1: (176, 0, 162, 12), 0.3: (448, 0, 777, 12), 0.5: (672, 0, 1002, 87),
+        0.7: (736, 3, 1197, 120), 0.9: (764, 21, 1470, 123),
+    },
+    "HF": {
+        0.1: (400, 0, 633, 87), 0.3: (912, 0, 1863, 126), 0.5: (1264, 0, 2034, 267),
+        0.7: (1552, 6, 2163, 372), 0.9: (1608, 36, 2502, 612),
+    },
+    "BeH2": {
+        0.1: (1504, 3, 3315, 621), 0.3: (3808, 6, 6513, 1395),
+        0.5: (5696, 24, 13416, 4005), 0.7: (7248, 51, 14268, 5253),
+        0.9: (7984, 228, 17862, 8091),
+    },
+    "H2O": {
+        0.1: (1536, 0, 3132, 1110), 0.3: (3840, 12, 7764, 1725),
+        0.5: (5712, 18, 12495, 2034), 0.7: (7280, 75, 13266, 2514),
+        0.9: (7988, 135, 15618, 3156),
+    },
+    "BH3": {
+        0.1: (3664, 0, 9489, 2163), 0.3: (9632, 39, 23811, 7632),
+        0.5: (14560, 108, 35289, 9654), 0.7: (18368, 237, 45603, 17010),
+        0.9: (20824, 606, 46395, 21165),
+    },
+    "NH3": {
+        0.1: (3680, 0, 11646, 1959), 0.3: (9696, 30, 20622, 5844),
+        0.5: (14592, 72, 35523, 8568), 0.7: (18480, 183, 42348, 12375),
+        0.9: (20824, 522, 48447, 13668),
+    },
+    "CH4": {
+        0.1: (7136, 0, 23796, 4788), 0.3: (19040, 45, 56799, 18939),
+        0.5: (28992, 120, 79821, 25173), 0.7: (36656, 366, 99831, 33792),
+        0.9: (41632, 1005, 111876, 39729),
+    },
+}
+
+
+@dataclass
+class Table2Row:
+    molecule: str
+    ratio: float
+    original_cnots: int
+    mtr_xtree_overhead: int
+    sabre_xtree_overhead: int
+    sabre_grid_overhead: int | None
+
+    @property
+    def mtr_vs_sabre_xtree(self) -> float:
+        if self.sabre_xtree_overhead == 0:
+            return 0.0
+        return self.mtr_xtree_overhead / self.sabre_xtree_overhead
+
+
+def table2_row(
+    molecule: str,
+    ratio: float,
+    *,
+    include_grid: bool = True,
+    sabre_seed: int = 11,
+) -> Table2Row:
+    problem = build_molecule_hamiltonian(molecule)
+    program = build_uccsd_program(problem).program
+    compressed = compress_ansatz(program, problem.hamiltonian, ratio)
+    reports = mapping_overhead(
+        compressed.program,
+        xtree(17),
+        grid17q() if include_grid else None,
+        sabre_seed=sabre_seed,
+    )
+    grid_overhead = (
+        reports["sabre_grid"].overhead_cnots if "sabre_grid" in reports else None
+    )
+    return Table2Row(
+        molecule=molecule,
+        ratio=ratio,
+        original_cnots=compressed.program.cnot_count(),
+        mtr_xtree_overhead=reports["mtr_xtree"].overhead_cnots,
+        sabre_xtree_overhead=reports["sabre_xtree"].overhead_cnots,
+        sabre_grid_overhead=grid_overhead,
+    )
+
+
+def table2_rows(
+    molecules: list[str],
+    ratios: tuple[float, ...] = PAPER_RATIOS,
+    *,
+    include_grid: bool = True,
+) -> list[Table2Row]:
+    return [
+        table2_row(molecule, ratio, include_grid=include_grid)
+        for molecule in molecules
+        for ratio in ratios
+    ]

@@ -1,0 +1,83 @@
+"""Frozen-core active-space reduction.
+
+The paper "freezes the core electrons and only simulates the interaction
+of the outermost electrons".  Freezing doubly-occupied core MOs folds
+their mean-field interaction into (i) a scalar core energy and (ii) an
+effective one-body operator over the active MOs:
+
+    E_core  = E_nuc + sum_c 2 h_cc + sum_cd [2 (cc|dd) - (cd|dc)]
+    h'_tu   = h_tu + sum_c [2 (tu|cc) - (tc|cu)]
+
+(chemist-notation integrals, c/d over frozen MOs, t/u over active MOs).
+The active-space sizes per molecule are fixed in
+:mod:`repro.chem.molecules` to reproduce the paper's qubit counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class ActiveSpaceIntegrals:
+    """Effective integrals over the active MOs."""
+
+    core_energy: float           # nuclear repulsion + frozen-core energy
+    hcore: np.ndarray            # effective one-body h'[t, u]
+    eri: np.ndarray              # chemist (tu|vw) over active MOs
+    num_electrons: int           # active electrons
+    num_orbitals: int            # active spatial orbitals
+
+
+def reduce_to_active_space(
+    hcore_mo: np.ndarray,
+    eri_mo: np.ndarray,
+    nuclear_repulsion: float,
+    total_electrons: int,
+    num_active_electrons: int,
+    num_active_orbitals: int,
+) -> ActiveSpaceIntegrals:
+    """Freeze core MOs and project onto the chosen active window.
+
+    Active orbitals are the ``num_active_orbitals`` MOs immediately above
+    the frozen core (energy ordering is inherited from the RHF solution).
+    """
+    num_frozen_twice = total_electrons - num_active_electrons
+    if num_frozen_twice < 0 or num_frozen_twice % 2 != 0:
+        raise ValueError(
+            f"cannot freeze {num_frozen_twice} electrons "
+            f"(total {total_electrons}, active {num_active_electrons})"
+        )
+    num_frozen = num_frozen_twice // 2
+    num_mo = hcore_mo.shape[0]
+    if num_frozen + num_active_orbitals > num_mo:
+        raise ValueError(
+            f"active window [{num_frozen}, {num_frozen + num_active_orbitals}) "
+            f"exceeds {num_mo} MOs"
+        )
+
+    frozen = list(range(num_frozen))
+    active = list(range(num_frozen, num_frozen + num_active_orbitals))
+
+    core_energy = nuclear_repulsion
+    for c in frozen:
+        core_energy += 2.0 * hcore_mo[c, c]
+        for d in frozen:
+            core_energy += 2.0 * eri_mo[c, c, d, d] - eri_mo[c, d, d, c]
+
+    hcore_active = hcore_mo[np.ix_(active, active)].copy()
+    for c in frozen:
+        hcore_active += 2.0 * eri_mo[np.ix_(active, active)][:, :, c, c] - eri_mo[
+            np.ix_(active, [c], [c], active)
+        ].reshape(len(active), len(active))
+
+    eri_active = eri_mo[np.ix_(active, active, active, active)].copy()
+    return ActiveSpaceIntegrals(
+        core_energy=core_energy,
+        hcore=hcore_active,
+        eri=eri_active,
+        num_electrons=num_active_electrons,
+        num_orbitals=num_active_orbitals,
+    )

@@ -1,0 +1,86 @@
+"""STO-3G basis-set data (Hehre, Stewart, Pople [53]).
+
+Each Slater-type orbital with exponent ``zeta`` is expanded in three
+Gaussians with *universal* least-squares exponents/coefficients; the
+element-specific part is only the Slater exponent of each shell.  The
+expansion for a shell scales as ``alpha_k = zeta^2 * alpha_k^(unit)``.
+
+The universal 1s and 2sp expansions below reproduce the published
+contracted exponents exactly (e.g. carbon 2sp: 2.9412494, 0.6834831,
+0.2222899 from zeta = 1.72).  Sodium's 3sp shell uses the published
+STO-3G values directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Universal STO-3G expansions for a Slater function with zeta = 1.
+_UNIT_1S_EXPONENTS = (2.227660584, 0.405771156, 0.109818)
+_UNIT_1S_COEFFS = (0.154328967, 0.535328142, 0.444634542)
+
+_UNIT_2SP_EXPONENTS = (0.994203, 0.231031, 0.0751386)
+_UNIT_2S_COEFFS = (-0.09996723, 0.39951283, 0.70011547)
+_UNIT_2P_COEFFS = (0.15591627, 0.60768372, 0.39195739)
+
+# Standard molecular Slater exponents (Hehre-Stewart-Pople).
+_ZETA_1S = {
+    "H": 1.24,
+    "He": 1.69,
+    "Li": 2.69,
+    "Be": 3.68,
+    "B": 4.68,
+    "C": 5.67,
+    "N": 6.67,
+    "O": 7.66,
+    "F": 8.65,
+    "Na": 10.61,
+}
+_ZETA_2SP = {
+    "Li": 0.80,
+    "Be": 1.15,
+    "B": 1.45,
+    "C": 1.72,
+    "N": 1.95,
+    "O": 2.25,
+    "F": 2.55,
+    "Na": 3.48,
+}
+
+# Sodium 3sp shell: published STO-3G contraction (Basis Set Exchange).
+_NA_3SP_EXPONENTS = (1.4787406, 0.41564918, 0.16139850)
+_NA_3S_COEFFS = (-0.21962037, 0.22559543, 0.90039843)
+_NA_3P_COEFFS = (0.01058760, 0.59516701, 0.46200101)
+
+
+@dataclass(frozen=True)
+class Shell:
+    """One contracted shell: angular momentum + primitive expansion."""
+
+    angular_momentum: int  # 0 = s, 1 = p
+    exponents: tuple[float, ...]
+    coefficients: tuple[float, ...]
+
+
+def _scaled(zeta: float, exponents: tuple[float, ...]) -> tuple[float, ...]:
+    return tuple(zeta * zeta * alpha for alpha in exponents)
+
+
+def shells_for_element(symbol: str) -> list[Shell]:
+    """STO-3G shells of one element, in energy order (1s, 2s, 2p, ...)."""
+    if symbol not in _ZETA_1S:
+        raise ValueError(f"no STO-3G data for element {symbol!r}")
+    shells = [Shell(0, _scaled(_ZETA_1S[symbol], _UNIT_1S_EXPONENTS), _UNIT_1S_COEFFS)]
+    if symbol in _ZETA_2SP:
+        exponents = _scaled(_ZETA_2SP[symbol], _UNIT_2SP_EXPONENTS)
+        shells.append(Shell(0, exponents, _UNIT_2S_COEFFS))
+        shells.append(Shell(1, exponents, _UNIT_2P_COEFFS))
+    if symbol == "Na":
+        shells.append(Shell(0, _NA_3SP_EXPONENTS, _NA_3S_COEFFS))
+        shells.append(Shell(1, _NA_3SP_EXPONENTS, _NA_3P_COEFFS))
+    return shells
+
+
+def num_basis_functions(symbol: str) -> int:
+    """Number of atomic orbitals the element contributes (p shells -> 3)."""
+    return sum(3 if shell.angular_momentum == 1 else 1 for shell in shells_for_element(symbol))

@@ -1,0 +1,30 @@
+"""Periodic-table data for the elements appearing in the benchmark set."""
+
+from __future__ import annotations
+
+ATOMIC_NUMBERS: dict[str, int] = {
+    "H": 1,
+    "He": 2,
+    "Li": 3,
+    "Be": 4,
+    "B": 5,
+    "C": 6,
+    "N": 7,
+    "O": 8,
+    "F": 9,
+    "Ne": 10,
+    "Na": 11,
+}
+
+# Bohr per Angstrom (CODATA).
+ANGSTROM_TO_BOHR = 1.8897259886
+
+# Hartree in electronvolt (for reporting convenience).
+HARTREE_TO_EV = 27.211386245988
+
+
+def atomic_number(symbol: str) -> int:
+    try:
+        return ATOMIC_NUMBERS[symbol]
+    except KeyError:
+        raise ValueError(f"unsupported element {symbol!r}") from None

@@ -1,0 +1,120 @@
+"""Second-quantized fermionic operators.
+
+A :class:`FermionOperator` is a weighted sum of normal-ordered-or-not
+products of ladder operators, stored as tuples ``((index, is_creation),
+...)``.  The Hamiltonian assembler and UCCSD excitation builder construct
+these, and :mod:`repro.chem.jordan_wigner` maps them to Pauli sums.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+LadderTerm = tuple[tuple[int, bool], ...]  # ((orbital, is_creation), ...)
+
+
+class FermionOperator:
+    """A weighted sum of ladder-operator products."""
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms: dict[LadderTerm, complex] | None = None):
+        self._terms: dict[LadderTerm, complex] = dict(terms) if terms else {}
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls) -> "FermionOperator":
+        return cls()
+
+    @classmethod
+    def identity(cls, coefficient: complex = 1.0) -> "FermionOperator":
+        return cls({(): coefficient})
+
+    @classmethod
+    def from_term(cls, ladder: Iterable[tuple[int, bool]], coefficient: complex = 1.0) -> "FermionOperator":
+        """E.g. ``from_term([(2, True), (0, False)])`` is ``a2+ a0``."""
+        return cls({tuple(ladder): coefficient})
+
+    @classmethod
+    def creation(cls, orbital: int) -> "FermionOperator":
+        return cls.from_term([(orbital, True)])
+
+    @classmethod
+    def annihilation(cls, orbital: int) -> "FermionOperator":
+        return cls.from_term([(orbital, False)])
+
+    @classmethod
+    def number(cls, orbital: int) -> "FermionOperator":
+        return cls.from_term([(orbital, True), (orbital, False)])
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __iter__(self) -> Iterator[tuple[complex, LadderTerm]]:
+        for ladder in sorted(self._terms):
+            yield self._terms[ladder], ladder
+
+    def coefficient(self, ladder: LadderTerm) -> complex:
+        return self._terms.get(tuple(ladder), 0.0)
+
+    def max_orbital(self) -> int:
+        """Largest orbital index appearing (or -1 for scalar operators)."""
+        indices = [index for ladder in self._terms for index, _ in ladder]
+        return max(indices) if indices else -1
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def _add_term(self, ladder: LadderTerm, coefficient: complex) -> None:
+        value = self._terms.get(ladder, 0.0) + coefficient
+        if value == 0:
+            self._terms.pop(ladder, None)
+        else:
+            self._terms[ladder] = value
+
+    def __add__(self, other: "FermionOperator") -> "FermionOperator":
+        result = FermionOperator(self._terms)
+        for coefficient, ladder in other:
+            result._add_term(ladder, coefficient)
+        return result
+
+    def __sub__(self, other: "FermionOperator") -> "FermionOperator":
+        return self + (other * -1.0)
+
+    def __mul__(self, other) -> "FermionOperator":
+        if isinstance(other, FermionOperator):
+            result = FermionOperator()
+            for c1, ladder1 in self:
+                for c2, ladder2 in other:
+                    result._add_term(ladder1 + ladder2, c1 * c2)
+            return result
+        return FermionOperator({k: v * other for k, v in self._terms.items() if v * other != 0})
+
+    __rmul__ = __mul__
+
+    def dagger(self) -> "FermionOperator":
+        """Hermitian conjugate: reverse products, flip dagger flags."""
+        result = FermionOperator()
+        for coefficient, ladder in self:
+            conjugated = tuple((index, not creation) for index, creation in reversed(ladder))
+            result._add_term(conjugated, coefficient.conjugate() if isinstance(coefficient, complex) else coefficient)
+        return result
+
+    def is_anti_hermitian(self, tolerance: float = 1e-10) -> bool:
+        total = self + self.dagger()
+        return all(abs(c) < tolerance for c, _ in total)
+
+    def __repr__(self) -> str:
+        def fmt(ladder: LadderTerm) -> str:
+            if not ladder:
+                return "1"
+            return " ".join(f"a{index}^" if creation else f"a{index}" for index, creation in ladder)
+
+        preview = " + ".join(f"({c:.4g}) {fmt(l)}" for c, l in list(self)[:4])
+        suffix = " + ..." if len(self) > 4 else ""
+        return f"FermionOperator({preview}{suffix})"

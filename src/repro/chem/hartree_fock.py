@@ -1,0 +1,154 @@
+"""Restricted Hartree-Fock with DIIS convergence acceleration.
+
+Produces the molecular orbitals and the Hartree-Fock reference energy; the
+MO coefficients feed the active-space transformation, and the occupation
+pattern defines the paper's Hartree-Fock initial state (the X-gate layer
+at the front of the VQE circuit, Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chem.integrals import IntegralTables
+
+
+@dataclass
+class RHFResult:
+    """Converged restricted Hartree-Fock solution."""
+
+    energy: float                # total energy including nuclear repulsion
+    electronic_energy: float
+    mo_coefficients: np.ndarray  # C[ao, mo]
+    mo_energies: np.ndarray
+    density: np.ndarray
+    fock: np.ndarray
+    num_electrons: int
+    converged: bool
+    iterations: int
+
+    @property
+    def num_orbitals(self) -> int:
+        return self.mo_coefficients.shape[1]
+
+    @property
+    def num_occupied(self) -> int:
+        return self.num_electrons // 2
+
+
+class SCFConvergenceError(RuntimeError):
+    """Raised when the SCF loop fails to converge."""
+
+
+def _build_fock(hcore: np.ndarray, eri: np.ndarray, density: np.ndarray) -> np.ndarray:
+    """F = h + J - K/2 with chemist-notation (pq|rs) integrals."""
+    coulomb = np.einsum("pqrs,rs->pq", eri, density)
+    exchange = np.einsum("prqs,rs->pq", eri, density)
+    return hcore + coulomb - 0.5 * exchange
+
+
+def run_rhf(
+    integrals: IntegralTables,
+    num_electrons: int,
+    *,
+    max_iterations: int = 200,
+    convergence: float = 1e-10,
+    diis_depth: int = 8,
+) -> RHFResult:
+    """Solve the RHF equations (closed shell; ``num_electrons`` even)."""
+    if num_electrons % 2 != 0:
+        raise ValueError("restricted HF requires an even number of electrons")
+    hcore = integrals.kinetic + integrals.nuclear
+    overlap = integrals.overlap
+
+    # Symmetric (Loewdin) orthogonalization.
+    s_eigenvalues, s_vectors = np.linalg.eigh(overlap)
+    if s_eigenvalues.min() < 1e-8:
+        raise SCFConvergenceError("near-singular overlap matrix (linear dependence)")
+    half_inverse = s_vectors @ np.diag(s_eigenvalues**-0.5) @ s_vectors.T
+
+    num_occupied = num_electrons // 2
+
+    def density_from(coefficients: np.ndarray) -> np.ndarray:
+        occupied = coefficients[:, :num_occupied]
+        return 2.0 * occupied @ occupied.T
+
+    # Core-Hamiltonian guess.
+    _, core_vectors = np.linalg.eigh(half_inverse @ hcore @ half_inverse)
+    mo_coefficients = half_inverse @ core_vectors
+    density = density_from(mo_coefficients)
+
+    fock_history: list[np.ndarray] = []
+    error_history: list[np.ndarray] = []
+    previous_energy = 0.0
+    mo_energies = np.zeros(overlap.shape[0])
+    fock = hcore
+    converged = False
+    iteration = 0
+
+    for iteration in range(1, max_iterations + 1):
+        fock = _build_fock(hcore, integrals.eri, density)
+        # DIIS error: FDS - SDF in the orthonormal basis.
+        error = half_inverse @ (
+            fock @ density @ overlap - overlap @ density @ fock
+        ) @ half_inverse
+        fock_history.append(fock)
+        error_history.append(error)
+        if len(fock_history) > diis_depth:
+            fock_history.pop(0)
+            error_history.pop(0)
+        if len(fock_history) > 1:
+            fock = _diis_extrapolate(fock_history, error_history)
+
+        transformed = half_inverse @ fock @ half_inverse
+        mo_energies, vectors = np.linalg.eigh(transformed)
+        mo_coefficients = half_inverse @ vectors
+        density = density_from(mo_coefficients)
+
+        electronic = 0.5 * np.sum(density * (hcore + _build_fock(hcore, integrals.eri, density)))
+        energy = electronic + integrals.nuclear_repulsion
+        if abs(energy - previous_energy) < convergence and np.max(np.abs(error)) < 1e-7:
+            converged = True
+            previous_energy = energy
+            break
+        previous_energy = energy
+
+    if not converged:
+        raise SCFConvergenceError(
+            f"SCF did not converge in {max_iterations} iterations "
+            f"(last energy {previous_energy:.10f})"
+        )
+
+    electronic = previous_energy - integrals.nuclear_repulsion
+    return RHFResult(
+        energy=previous_energy,
+        electronic_energy=electronic,
+        mo_coefficients=mo_coefficients,
+        mo_energies=mo_energies,
+        density=density,
+        fock=_build_fock(hcore, integrals.eri, density),
+        num_electrons=num_electrons,
+        converged=converged,
+        iterations=iteration,
+    )
+
+
+def _diis_extrapolate(
+    fock_history: list[np.ndarray], error_history: list[np.ndarray]
+) -> np.ndarray:
+    """Pulay DIIS: solve for the linear combination minimizing the error."""
+    depth = len(fock_history)
+    matrix = -np.ones((depth + 1, depth + 1))
+    matrix[depth, depth] = 0.0
+    for i in range(depth):
+        for j in range(depth):
+            matrix[i, j] = np.sum(error_history[i] * error_history[j])
+    rhs = np.zeros(depth + 1)
+    rhs[depth] = -1.0
+    try:
+        solution = np.linalg.solve(matrix, rhs)
+    except np.linalg.LinAlgError:
+        return fock_history[-1]
+    return sum(c * f for c, f in zip(solution[:depth], fock_history))

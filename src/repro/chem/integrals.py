@@ -1,0 +1,408 @@
+"""Gaussian integral evaluation over contracted Cartesian Gaussians.
+
+Implements the McMurchie-Davidson scheme for the four integral classes a
+minimal-basis Hartree-Fock needs: overlap, kinetic, nuclear attraction and
+electron repulsion.  Primitives are Cartesian Gaussians
+
+    g(r; alpha, l, m, n, A) = (x-Ax)^l (y-Ay)^m (z-Az)^n exp(-alpha |r-A|^2)
+
+with l+m+n <= 1 (s and p) for STO-3G, though the recursions below are
+written generally and tested up to d-type Hermite orders.
+
+References: McMurchie & Davidson, J. Comput. Phys. 26, 218 (1978);
+Helgaker, Jorgensen & Olsen, "Molecular Electronic-Structure Theory".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import gammainc, gamma
+
+from repro.chem.basis_data import Shell, shells_for_element
+
+# Cartesian components (l, m, n) per angular momentum.
+_ANGULAR_COMPONENTS = {
+    0: [(0, 0, 0)],
+    1: [(1, 0, 0), (0, 1, 0), (0, 0, 1)],
+}
+
+
+@dataclass(frozen=True)
+class BasisFunction:
+    """A contracted Cartesian Gaussian centred on an atom."""
+
+    center: tuple[float, float, float]
+    powers: tuple[int, int, int]
+    exponents: tuple[float, ...]
+    coefficients: tuple[float, ...]  # contraction coefs * primitive norms
+    atom_index: int
+    label: str
+
+
+def _primitive_norm(alpha: float, powers: tuple[int, int, int]) -> float:
+    """Normalization constant of one Cartesian Gaussian primitive."""
+    l, m, n = powers
+    prefactor = (2.0 * alpha / math.pi) ** 0.75
+    numerator = (4.0 * alpha) ** ((l + m + n) / 2.0)
+    denominator = math.sqrt(
+        _double_factorial(2 * l - 1)
+        * _double_factorial(2 * m - 1)
+        * _double_factorial(2 * n - 1)
+    )
+    return prefactor * numerator / denominator
+
+
+def _double_factorial(k: int) -> float:
+    if k <= 0:
+        return 1.0
+    result = 1.0
+    while k > 1:
+        result *= k
+        k -= 2
+    return result
+
+
+def build_basis(
+    symbols: list[str], coordinates_bohr: np.ndarray
+) -> list[BasisFunction]:
+    """Construct the STO-3G basis for a molecule (coordinates in Bohr)."""
+    functions: list[BasisFunction] = []
+    for atom_index, symbol in enumerate(symbols):
+        center = tuple(float(c) for c in coordinates_bohr[atom_index])
+        shell_counter: dict[int, int] = {}
+        for shell in shells_for_element(symbol):
+            shell_counter[shell.angular_momentum] = (
+                shell_counter.get(shell.angular_momentum, 0) + 1
+            )
+            for powers in _ANGULAR_COMPONENTS[shell.angular_momentum]:
+                functions.append(
+                    _contracted_function(symbol, atom_index, center, shell, powers)
+                )
+    return functions
+
+
+def _contracted_function(
+    symbol: str,
+    atom_index: int,
+    center: tuple[float, float, float],
+    shell: Shell,
+    powers: tuple[int, int, int],
+) -> BasisFunction:
+    coefficients = tuple(
+        c * _primitive_norm(alpha, powers)
+        for c, alpha in zip(shell.coefficients, shell.exponents)
+    )
+    function = BasisFunction(
+        center=center,
+        powers=powers,
+        exponents=shell.exponents,
+        coefficients=coefficients,
+        atom_index=atom_index,
+        label=f"{symbol}{atom_index}:{'spdf'[shell.angular_momentum]}{powers}",
+    )
+    # Renormalize the contraction so <chi|chi> = 1 even when tabulated
+    # contraction coefficients are only approximately normalized.
+    norm = math.sqrt(_overlap_contracted(function, function))
+    return BasisFunction(
+        center=center,
+        powers=powers,
+        exponents=shell.exponents,
+        coefficients=tuple(c / norm for c in function.coefficients),
+        atom_index=atom_index,
+        label=function.label,
+    )
+
+
+# ----------------------------------------------------------------------
+# Hermite expansion coefficients E_t^{ij}
+# ----------------------------------------------------------------------
+def _hermite_coefficients(l1: int, l2: int, pa: float, pb: float, p: float) -> np.ndarray:
+    """E[t] for the 1D product of two Gaussians, t = 0 .. l1+l2.
+
+    pa = Px - Ax, pb = Px - Bx, p = combined exponent alpha + beta.
+    Built with the standard upward recursions in (i, j).
+    """
+    one_over_2p = 0.5 / p
+    # One extra slot in t so the E(i-1, t+1) lookups never go out of range.
+    table = np.zeros((l1 + 1, l2 + 1, l1 + l2 + 2))
+    table[0, 0, 0] = 1.0
+    for i in range(1, l1 + 1):
+        for t in range(i + 1):
+            table[i, 0, t] = (
+                (table[i - 1, 0, t - 1] * one_over_2p if t > 0 else 0.0)
+                + pa * table[i - 1, 0, t]
+                + (t + 1) * table[i - 1, 0, t + 1]
+            )
+    for j in range(1, l2 + 1):
+        for i in range(l1 + 1):
+            for t in range(i + j + 1):
+                table[i, j, t] = (
+                    (table[i, j - 1, t - 1] * one_over_2p if t > 0 else 0.0)
+                    + pb * table[i, j - 1, t]
+                    + (t + 1) * table[i, j - 1, t + 1]
+                )
+    return table[l1, l2, : l1 + l2 + 1]
+
+
+# ----------------------------------------------------------------------
+# Boys function
+# ----------------------------------------------------------------------
+def boys(n: int, x: float) -> float:
+    """The Boys function F_n(x) = int_0^1 t^{2n} exp(-x t^2) dt."""
+    if x < 1e-12:
+        return 1.0 / (2 * n + 1)
+    half = n + 0.5
+    return 0.5 * gamma(half) * gammainc(half, x) / (x**half)
+
+
+# ----------------------------------------------------------------------
+# Primitive integrals
+# ----------------------------------------------------------------------
+def _primitive_overlap(alpha, powers_a, center_a, beta, powers_b, center_b) -> float:
+    p = alpha + beta
+    mu = alpha * beta / p
+    ab2 = sum((a - b) ** 2 for a, b in zip(center_a, center_b))
+    prefactor = math.exp(-mu * ab2)
+    value = prefactor * (math.pi / p) ** 1.5
+    for axis in range(3):
+        pax = (alpha * center_a[axis] + beta * center_b[axis]) / p - center_a[axis]
+        pbx = (alpha * center_a[axis] + beta * center_b[axis]) / p - center_b[axis]
+        e = _hermite_coefficients(powers_a[axis], powers_b[axis], pax, pbx, p)
+        value *= e[0]
+    return value
+
+
+def _primitive_kinetic(alpha, powers_a, center_a, beta, powers_b, center_b) -> float:
+    """Kinetic energy via the Gaussian differentiation identity."""
+    l2, m2, n2 = powers_b
+
+    def overlap_shifted(db: tuple[int, int, int]) -> float:
+        shifted = (l2 + db[0], m2 + db[1], n2 + db[2])
+        if any(component < 0 for component in shifted):
+            return 0.0
+        return _primitive_overlap(alpha, powers_a, center_a, beta, shifted, center_b)
+
+    term0 = beta * (2 * (l2 + m2 + n2) + 3) * overlap_shifted((0, 0, 0))
+    term1 = -2.0 * beta**2 * (
+        overlap_shifted((2, 0, 0)) + overlap_shifted((0, 2, 0)) + overlap_shifted((0, 0, 2))
+    )
+    term2 = -0.5 * (
+        l2 * (l2 - 1) * overlap_shifted((-2, 0, 0))
+        + m2 * (m2 - 1) * overlap_shifted((0, -2, 0))
+        + n2 * (n2 - 1) * overlap_shifted((0, 0, -2))
+    )
+    return term0 + term1 + term2
+
+
+def _hermite_coulomb(t: int, u: int, v: int, n: int, p: float, pc: tuple[float, float, float]) -> float:
+    """Auxiliary Hermite Coulomb integrals R_{tuv}^n (recursive)."""
+    x, y, z = pc
+    if t == u == v == 0:
+        r2 = x * x + y * y + z * z
+        return (-2.0 * p) ** n * boys(n, p * r2)
+    if t < 0 or u < 0 or v < 0:
+        return 0.0
+    if t > 0:
+        value = (t - 1) * _hermite_coulomb(t - 2, u, v, n + 1, p, pc) if t > 1 else 0.0
+        return value + x * _hermite_coulomb(t - 1, u, v, n + 1, p, pc)
+    if u > 0:
+        value = (u - 1) * _hermite_coulomb(t, u - 2, v, n + 1, p, pc) if u > 1 else 0.0
+        return value + y * _hermite_coulomb(t, u - 1, v, n + 1, p, pc)
+    value = (v - 1) * _hermite_coulomb(t, u, v - 2, n + 1, p, pc) if v > 1 else 0.0
+    return value + z * _hermite_coulomb(t, u, v - 1, n + 1, p, pc)
+
+
+def _primitive_nuclear(
+    alpha, powers_a, center_a, beta, powers_b, center_b, nucleus
+) -> float:
+    p = alpha + beta
+    composite = tuple(
+        (alpha * a + beta * b) / p for a, b in zip(center_a, center_b)
+    )
+    mu = alpha * beta / p
+    ab2 = sum((a - b) ** 2 for a, b in zip(center_a, center_b))
+    prefactor = math.exp(-mu * ab2)
+    es = []
+    for axis in range(3):
+        pa = composite[axis] - center_a[axis]
+        pb = composite[axis] - center_b[axis]
+        es.append(_hermite_coefficients(powers_a[axis], powers_b[axis], pa, pb, p))
+    pc = tuple(composite[axis] - nucleus[axis] for axis in range(3))
+    value = 0.0
+    for t in range(len(es[0])):
+        for u in range(len(es[1])):
+            for v in range(len(es[2])):
+                value += (
+                    es[0][t] * es[1][u] * es[2][v] * _hermite_coulomb(t, u, v, 0, p, pc)
+                )
+    return 2.0 * math.pi / p * prefactor * value
+
+
+def _primitive_eri(
+    alpha, pa_pows, a_center, beta, pb_pows, b_center,
+    gamma_, pc_pows, c_center, delta, pd_pows, d_center,
+) -> float:
+    p = alpha + beta
+    q = gamma_ + delta
+    composite_p = tuple((alpha * a + beta * b) / p for a, b in zip(a_center, b_center))
+    composite_q = tuple(
+        (gamma_ * c + delta * d) / q for c, d in zip(c_center, d_center)
+    )
+    omega = p * q / (p + q)
+    ab2 = sum((a - b) ** 2 for a, b in zip(a_center, b_center))
+    cd2 = sum((c - d) ** 2 for c, d in zip(c_center, d_center))
+    prefactor = math.exp(-alpha * beta / p * ab2) * math.exp(-gamma_ * delta / q * cd2)
+
+    e_bra = []
+    e_ket = []
+    for axis in range(3):
+        pa = composite_p[axis] - a_center[axis]
+        pb = composite_p[axis] - b_center[axis]
+        e_bra.append(_hermite_coefficients(pa_pows[axis], pb_pows[axis], pa, pb, p))
+        qc = composite_q[axis] - c_center[axis]
+        qd = composite_q[axis] - d_center[axis]
+        e_ket.append(_hermite_coefficients(pc_pows[axis], pd_pows[axis], qc, qd, q))
+
+    pq = tuple(composite_p[axis] - composite_q[axis] for axis in range(3))
+    value = 0.0
+    for t in range(len(e_bra[0])):
+        for u in range(len(e_bra[1])):
+            for v in range(len(e_bra[2])):
+                bra = e_bra[0][t] * e_bra[1][u] * e_bra[2][v]
+                if bra == 0.0:
+                    continue
+                for tau in range(len(e_ket[0])):
+                    for nu in range(len(e_ket[1])):
+                        for phi in range(len(e_ket[2])):
+                            ket = e_ket[0][tau] * e_ket[1][nu] * e_ket[2][phi]
+                            if ket == 0.0:
+                                continue
+                            sign = (-1.0) ** (tau + nu + phi)
+                            value += bra * ket * sign * _hermite_coulomb(
+                                t + tau, u + nu, v + phi, 0, omega, pq
+                            )
+    return (
+        2.0 * math.pi**2.5
+        / (p * q * math.sqrt(p + q))
+        * prefactor
+        * value
+    )
+
+
+# ----------------------------------------------------------------------
+# Contracted integrals
+# ----------------------------------------------------------------------
+def _overlap_contracted(a: BasisFunction, b: BasisFunction) -> float:
+    value = 0.0
+    for ca, alpha in zip(a.coefficients, a.exponents):
+        for cb, beta in zip(b.coefficients, b.exponents):
+            value += ca * cb * _primitive_overlap(
+                alpha, a.powers, a.center, beta, b.powers, b.center
+            )
+    return value
+
+
+def _kinetic_contracted(a: BasisFunction, b: BasisFunction) -> float:
+    value = 0.0
+    for ca, alpha in zip(a.coefficients, a.exponents):
+        for cb, beta in zip(b.coefficients, b.exponents):
+            value += ca * cb * _primitive_kinetic(
+                alpha, a.powers, a.center, beta, b.powers, b.center
+            )
+    return value
+
+
+def _nuclear_contracted(
+    a: BasisFunction, b: BasisFunction, charges: list[int], nuclei: np.ndarray
+) -> float:
+    value = 0.0
+    for ca, alpha in zip(a.coefficients, a.exponents):
+        for cb, beta in zip(b.coefficients, b.exponents):
+            accumulated = 0.0
+            for charge, nucleus in zip(charges, nuclei):
+                accumulated -= charge * _primitive_nuclear(
+                    alpha, a.powers, a.center, beta, b.powers, b.center, tuple(nucleus)
+                )
+            value += ca * cb * accumulated
+    return value
+
+
+def _eri_contracted(
+    a: BasisFunction, b: BasisFunction, c: BasisFunction, d: BasisFunction
+) -> float:
+    value = 0.0
+    for ca, alpha in zip(a.coefficients, a.exponents):
+        for cb, beta in zip(b.coefficients, b.exponents):
+            for cc, gamma_ in zip(c.coefficients, c.exponents):
+                for cd, delta in zip(d.coefficients, d.exponents):
+                    value += ca * cb * cc * cd * _primitive_eri(
+                        alpha, a.powers, a.center,
+                        beta, b.powers, b.center,
+                        gamma_, c.powers, c.center,
+                        delta, d.powers, d.center,
+                    )
+    return value
+
+
+@dataclass
+class IntegralTables:
+    """All AO integrals of a molecule (chemist's notation for the ERI)."""
+
+    overlap: np.ndarray         # S[p, q]
+    kinetic: np.ndarray         # T[p, q]
+    nuclear: np.ndarray         # V[p, q] (attraction, negative)
+    eri: np.ndarray             # (pq|rs)
+    nuclear_repulsion: float
+
+
+def nuclear_repulsion(charges: list[int], coordinates_bohr: np.ndarray) -> float:
+    energy = 0.0
+    for i in range(len(charges)):
+        for j in range(i + 1, len(charges)):
+            distance = float(np.linalg.norm(coordinates_bohr[i] - coordinates_bohr[j]))
+            energy += charges[i] * charges[j] / distance
+    return energy
+
+
+def compute_integrals(
+    basis: list[BasisFunction], charges: list[int], coordinates_bohr: np.ndarray
+) -> IntegralTables:
+    """Evaluate S, T, V and (pq|rs) over the contracted basis.
+
+    Uses the 8-fold permutational symmetry of the ERI tensor; STO-3G
+    molecule sizes here (<= 10 AOs) keep this comfortably fast.
+    """
+    n = len(basis)
+    overlap = np.zeros((n, n))
+    kinetic = np.zeros((n, n))
+    nuclear = np.zeros((n, n))
+    for p in range(n):
+        for q in range(p, n):
+            overlap[p, q] = overlap[q, p] = _overlap_contracted(basis[p], basis[q])
+            kinetic[p, q] = kinetic[q, p] = _kinetic_contracted(basis[p], basis[q])
+            value = _nuclear_contracted(basis[p], basis[q], charges, coordinates_bohr)
+            nuclear[p, q] = nuclear[q, p] = value
+
+    eri = np.zeros((n, n, n, n))
+    for p in range(n):
+        for q in range(p + 1):
+            for r in range(p + 1):
+                s_max = q if r == p else r
+                for s in range(s_max + 1):
+                    value = _eri_contracted(basis[p], basis[q], basis[r], basis[s])
+                    for (i, j, k, l) in {
+                        (p, q, r, s), (q, p, r, s), (p, q, s, r), (q, p, s, r),
+                        (r, s, p, q), (s, r, p, q), (r, s, q, p), (s, r, q, p),
+                    }:
+                        eri[i, j, k, l] = value
+
+    return IntegralTables(
+        overlap=overlap,
+        kinetic=kinetic,
+        nuclear=nuclear,
+        eri=eri,
+        nuclear_repulsion=nuclear_repulsion(charges, coordinates_bohr),
+    )

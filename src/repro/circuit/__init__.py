@@ -1,0 +1,43 @@
+"""Quantum-circuit intermediate representation substrate.
+
+A minimal, dependency-free gate-level IR in the spirit of Qiskit Terra:
+gates are lightweight records, circuits are ordered gate lists with
+counting, composition and inversion utilities.  The compiler layer emits
+circuits in this IR and the simulators in :mod:`repro.sim` execute them.
+"""
+
+from repro.circuit.gates import (
+    Gate,
+    CNOT,
+    SWAP,
+    H,
+    RX,
+    RY,
+    RZ,
+    S,
+    SDG,
+    X,
+    Y,
+    Z,
+    Barrier,
+    Measure,
+)
+from repro.circuit.circuit import Circuit
+
+__all__ = [
+    "Gate",
+    "Circuit",
+    "CNOT",
+    "SWAP",
+    "H",
+    "RX",
+    "RY",
+    "RZ",
+    "S",
+    "SDG",
+    "X",
+    "Y",
+    "Z",
+    "Barrier",
+    "Measure",
+]

@@ -1,0 +1,225 @@
+"""Gate records for the circuit IR.
+
+Each gate is an immutable dataclass carrying its qubits and (for rotations)
+its angle.  Matrices are produced on demand for the simulators.  The gate
+set covers everything the paper's synthesis needs: the Clifford basis
+changes around Pauli-string evolution (H, RX(+-pi/2)), the central RZ
+rotation, CNOT ladders, SWAPs inserted by routing, and state-preparation
+X gates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_SQRT1_2 = 1.0 / math.sqrt(2.0)
+
+
+@dataclass(frozen=True)
+class Gate:
+    """Base gate record.
+
+    Attributes:
+        name: lowercase mnemonic ("h", "cx", ...).
+        qubits: the qubits the gate acts on, control first for cx.
+        params: rotation angles (empty for non-parameterized gates).
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = field(default=())
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+    def is_two_qubit(self) -> bool:
+        return len(self.qubits) == 2 and self.name not in ("barrier",)
+
+    def matrix(self) -> np.ndarray:
+        """Unitary matrix of the gate (little-endian within its qubits)."""
+        return _MATRIX_BUILDERS[self.name](self.params)
+
+    def inverse(self) -> "Gate":
+        """The inverse gate (self-inverse gates return themselves)."""
+        if self.name in _SELF_INVERSE:
+            return self
+        if self.name in ("rx", "ry", "rz"):
+            return Gate(self.name, self.qubits, (-self.params[0],))
+        if self.name == "s":
+            return Gate("sdg", self.qubits)
+        if self.name == "sdg":
+            return Gate("s", self.qubits)
+        raise ValueError(f"no inverse defined for gate {self.name!r}")
+
+    def remap(self, mapping: dict[int, int]) -> "Gate":
+        """The same gate acting on relabeled qubits."""
+        return Gate(self.name, tuple(mapping[q] for q in self.qubits), self.params)
+
+    def __repr__(self) -> str:
+        args = ", ".join(str(q) for q in self.qubits)
+        if self.params:
+            angles = ", ".join(f"{p:.4g}" for p in self.params)
+            return f"{self.name}({angles}) {args}"
+        return f"{self.name} {args}"
+
+
+_SELF_INVERSE = {"h", "x", "y", "z", "cx", "swap", "cz", "barrier", "measure"}
+
+
+def _check_one_param(params: tuple[float, ...]) -> float:
+    if len(params) != 1:
+        raise ValueError("rotation gates take exactly one angle")
+    return params[0]
+
+
+def _h_matrix(_params):
+    return np.array([[_SQRT1_2, _SQRT1_2], [_SQRT1_2, -_SQRT1_2]], dtype=complex)
+
+
+def _x_matrix(_params):
+    return np.array([[0, 1], [1, 0]], dtype=complex)
+
+
+def _y_matrix(_params):
+    return np.array([[0, -1j], [1j, 0]], dtype=complex)
+
+
+def _z_matrix(_params):
+    return np.array([[1, 0], [0, -1]], dtype=complex)
+
+
+def _s_matrix(_params):
+    return np.array([[1, 0], [0, 1j]], dtype=complex)
+
+
+def _sdg_matrix(_params):
+    return np.array([[1, 0], [0, -1j]], dtype=complex)
+
+
+def _rx_matrix(params):
+    theta = _check_one_param(params)
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def _ry_matrix(params):
+    theta = _check_one_param(params)
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def _rz_matrix(params):
+    theta = _check_one_param(params)
+    return np.array(
+        [[np.exp(-0.5j * theta), 0], [0, np.exp(0.5j * theta)]], dtype=complex
+    )
+
+
+def _cx_matrix(_params):
+    # Qubit order (control, target); basis index = target*2 + control
+    # (little-endian: first listed qubit is the least significant).
+    matrix = np.eye(4, dtype=complex)
+    # control = bit 0, target = bit 1: states |c=1,t> swap target.
+    matrix[[1, 3], :] = 0
+    matrix[1, 3] = 1
+    matrix[3, 1] = 1
+    return matrix
+
+
+def _cz_matrix(_params):
+    matrix = np.eye(4, dtype=complex)
+    matrix[3, 3] = -1
+    return matrix
+
+
+def _swap_matrix(_params):
+    matrix = np.eye(4, dtype=complex)
+    matrix[[1, 2], :] = 0
+    matrix[1, 2] = 1
+    matrix[2, 1] = 1
+    return matrix
+
+
+_MATRIX_BUILDERS = {
+    "h": _h_matrix,
+    "x": _x_matrix,
+    "y": _y_matrix,
+    "z": _z_matrix,
+    "s": _s_matrix,
+    "sdg": _sdg_matrix,
+    "rx": _rx_matrix,
+    "ry": _ry_matrix,
+    "rz": _rz_matrix,
+    "cx": _cx_matrix,
+    "cz": _cz_matrix,
+    "swap": _swap_matrix,
+}
+
+
+# ----------------------------------------------------------------------
+# Constructors (the public gate vocabulary)
+# ----------------------------------------------------------------------
+def H(qubit: int) -> Gate:
+    return Gate("h", (qubit,))
+
+
+def X(qubit: int) -> Gate:
+    return Gate("x", (qubit,))
+
+
+def Y(qubit: int) -> Gate:
+    return Gate("y", (qubit,))
+
+
+def Z(qubit: int) -> Gate:
+    return Gate("z", (qubit,))
+
+
+def S(qubit: int) -> Gate:
+    return Gate("s", (qubit,))
+
+
+def SDG(qubit: int) -> Gate:
+    return Gate("sdg", (qubit,))
+
+
+def RX(theta: float, qubit: int) -> Gate:
+    return Gate("rx", (qubit,), (theta,))
+
+
+def RY(theta: float, qubit: int) -> Gate:
+    return Gate("ry", (qubit,), (theta,))
+
+
+def RZ(theta: float, qubit: int) -> Gate:
+    return Gate("rz", (qubit,), (theta,))
+
+
+def CNOT(control: int, target: int) -> Gate:
+    if control == target:
+        raise ValueError("control and target must differ")
+    return Gate("cx", (control, target))
+
+
+def CZ(a: int, b: int) -> Gate:
+    if a == b:
+        raise ValueError("qubits must differ")
+    return Gate("cz", (a, b))
+
+
+def SWAP(a: int, b: int) -> Gate:
+    if a == b:
+        raise ValueError("qubits must differ")
+    return Gate("swap", (a, b))
+
+
+def Barrier(*qubits: int) -> Gate:
+    return Gate("barrier", tuple(qubits))
+
+
+def Measure(qubit: int) -> Gate:
+    return Gate("measure", (qubit,))

@@ -1,0 +1,100 @@
+"""OpenQASM 2.0 export / import for the circuit IR.
+
+Lets compiled circuits leave the library (e.g. toward a hardware provider
+or Qiskit for cross-checking) and supports a round-trip subset: the gate
+vocabulary the compilers emit (x, h, s, sdg, rx, ry, rz, cx, cz, swap,
+barrier, measure).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import Gate
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+_ONE_QUBIT = {"x", "y", "z", "h", "s", "sdg"}
+_ROTATION = {"rx", "ry", "rz"}
+_TWO_QUBIT = {"cx", "cz", "swap"}
+
+
+def to_qasm(circuit: Circuit) -> str:
+    """Serialize a circuit to OpenQASM 2.0 text."""
+    lines = [_HEADER + f"qreg q[{circuit.num_qubits}];"]
+    has_measure = any(g.name == "measure" for g in circuit.gates)
+    if has_measure:
+        lines.append(f"creg c[{circuit.num_qubits}];")
+    for gate in circuit.gates:
+        lines.append(_gate_to_qasm(gate))
+    return "\n".join(lines) + "\n"
+
+
+def _gate_to_qasm(gate: Gate) -> str:
+    operands = ",".join(f"q[{q}]" for q in gate.qubits)
+    if gate.name in _ONE_QUBIT or gate.name in _TWO_QUBIT:
+        return f"{gate.name} {operands};"
+    if gate.name in _ROTATION:
+        return f"{gate.name}({gate.params[0]:.17g}) {operands};"
+    if gate.name == "barrier":
+        return f"barrier {operands};"
+    if gate.name == "measure":
+        qubit = gate.qubits[0]
+        return f"measure q[{qubit}] -> c[{qubit}];"
+    raise ValueError(f"gate {gate.name!r} has no QASM form")
+
+
+_QREG_RE = re.compile(r"qreg\s+(\w+)\s*\[\s*(\d+)\s*\]")
+_GATE_RE = re.compile(
+    r"^(?P<name>[a-z]+)\s*(?:\((?P<angle>[^)]*)\))?\s+(?P<operands>[^;]+);$"
+)
+_OPERAND_RE = re.compile(r"\w+\s*\[\s*(\d+)\s*\]")
+
+
+def from_qasm(text: str) -> Circuit:
+    """Parse the supported OpenQASM 2.0 subset back into a circuit."""
+    num_qubits = None
+    gates: list[Gate] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("//")[0].strip()
+        if not line or line.startswith(("OPENQASM", "include", "creg")):
+            continue
+        qreg = _QREG_RE.match(line)
+        if qreg:
+            num_qubits = int(qreg.group(2))
+            continue
+        if line.startswith("measure"):
+            indices = _OPERAND_RE.findall(line)
+            gates.append(Gate("measure", (int(indices[0]),)))
+            continue
+        match = _GATE_RE.match(line)
+        if not match:
+            raise ValueError(f"unsupported QASM line: {raw_line!r}")
+        name = match.group("name")
+        operands = tuple(int(i) for i in _OPERAND_RE.findall(match.group("operands")))
+        if name == "barrier":
+            gates.append(Gate("barrier", operands))
+            continue
+        if name in _ROTATION:
+            angle = _parse_angle(match.group("angle"))
+            gates.append(Gate(name, operands, (angle,)))
+            continue
+        if name in _ONE_QUBIT or name in _TWO_QUBIT:
+            gates.append(Gate(name, operands))
+            continue
+        raise ValueError(f"unsupported QASM gate {name!r}")
+    if num_qubits is None:
+        raise ValueError("missing qreg declaration")
+    return Circuit(num_qubits, gates)
+
+
+def _parse_angle(text: str | None) -> float:
+    if text is None:
+        raise ValueError("rotation gate missing its angle")
+    value = text.strip().replace("pi", repr(math.pi))
+    # Allow simple arithmetic like "pi/2" or "-3*pi/4".
+    if not re.fullmatch(r"[-+*/(). 0-9e]+", value):
+        raise ValueError(f"cannot parse angle {text!r}")
+    return float(eval(value, {"__builtins__": {}}, {}))  # noqa: S307 - sanitized

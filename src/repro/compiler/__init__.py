@@ -1,0 +1,51 @@
+"""Compilation flows (Section V).
+
+Two flows are provided, mirroring the paper's comparison:
+
+* the **traditional** flow: chain synthesis of every Pauli string into
+  CNOT ladders (:mod:`repro.compiler.synthesis`, what Qiskit does),
+  followed by general-purpose SABRE mapping
+  (:mod:`repro.compiler.sabre`);
+* the **co-designed** flow: hierarchical initial layout straight from the
+  Pauli IR (:mod:`repro.compiler.layout`, Algorithm 2) plus Merge-to-Root
+  combined synthesis-and-routing (:mod:`repro.compiler.merge_to_root`,
+  Algorithm 3).
+
+:mod:`repro.compiler.verify` checks compiled circuits against the
+Pauli-evolution reference semantics, and :mod:`repro.compiler.metrics`
+computes the paper's overhead numbers.
+"""
+
+from repro.compiler.synthesis import (
+    synthesize_pauli_chain,
+    synthesize_program_chain,
+    hartree_fock_circuit,
+)
+from repro.compiler.layout import hierarchical_initial_layout, trivial_layout
+from repro.compiler.merge_to_root import MergeToRootCompiler, CompiledProgram
+from repro.compiler.sabre import SabreRouter, SabreResult
+from repro.compiler.metrics import mapping_overhead, OverheadReport
+from repro.compiler.verify import (
+    logical_reference_state,
+    compiled_state,
+    assert_equivalent,
+    states_match,
+)
+
+__all__ = [
+    "synthesize_pauli_chain",
+    "synthesize_program_chain",
+    "hartree_fock_circuit",
+    "hierarchical_initial_layout",
+    "trivial_layout",
+    "MergeToRootCompiler",
+    "CompiledProgram",
+    "SabreRouter",
+    "SabreResult",
+    "mapping_overhead",
+    "OverheadReport",
+    "logical_reference_state",
+    "compiled_state",
+    "states_match",
+    "assert_equivalent",
+]

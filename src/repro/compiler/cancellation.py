@@ -1,0 +1,103 @@
+"""Peephole gate cancellation (Section VII, "deeper compiler optimization").
+
+The paper points out that traditional passes like gate cancellation [40]
+can be specialized for variational chemistry circuits: consecutive Pauli
+string simulation circuits share basis gates and CNOT-ladder tails that
+cancel pairwise.  This pass implements the standard peephole rules:
+
+* adjacent self-inverse pairs annihilate (H-H, X-X, CNOT-CNOT, SWAP-SWAP
+  on the same qubits);
+* adjacent rotations about the same axis on the same qubit merge
+  (RZ(a) RZ(b) -> RZ(a+b)), vanishing when the combined angle is ~0;
+* the scan iterates to a fixed point, so cascades of enabled
+  cancellations are picked up.
+
+Commutation is handled conservatively: two gates are only considered
+adjacent when no intervening gate touches any shared qubit.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit import Circuit
+from repro.circuit.gates import Gate
+
+_SELF_INVERSE = {"h", "x", "y", "z", "cx", "cz", "swap"}
+_ROTATIONS = {"rx", "ry", "rz"}
+_ANGLE_EPSILON = 1e-12
+
+
+def _symmetric_pair_equal(a: Gate, b: Gate) -> bool:
+    """Same gate on the same qubits (SWAP/CZ are order-insensitive)."""
+    if a.name != b.name:
+        return False
+    if a.name in ("swap", "cz"):
+        return set(a.qubits) == set(b.qubits)
+    return a.qubits == b.qubits
+
+
+def cancel_gates(circuit: Circuit) -> Circuit:
+    """Apply cancellation until a fixed point; returns a new circuit."""
+    gates = list(circuit.gates)
+    changed = True
+    while changed:
+        gates, changed = _one_pass(gates)
+    return Circuit(circuit.num_qubits, gates)
+
+
+def _one_pass(gates: list[Gate]) -> tuple[list[Gate], bool]:
+    result: list[Gate] = []
+    changed = False
+    for gate in gates:
+        if gate.name == "barrier":
+            result.append(gate)
+            continue
+        partner_index = _find_adjacent_partner(result, gate)
+        if partner_index is None:
+            result.append(gate)
+            continue
+        partner = result[partner_index]
+        if gate.name in _SELF_INVERSE:
+            result.pop(partner_index)
+            changed = True
+            continue
+        # Rotation merge.
+        merged_angle = partner.params[0] + gate.params[0]
+        result.pop(partner_index)
+        changed = True
+        if abs(math.remainder(merged_angle, 4.0 * math.pi)) > _ANGLE_EPSILON:
+            result.insert(partner_index, Gate(gate.name, gate.qubits, (merged_angle,)))
+    return result, changed
+
+
+def _find_adjacent_partner(emitted: list[Gate], gate: Gate) -> int | None:
+    """Index of a cancelable partner with no blocker in between."""
+    cancelable = gate.name in _SELF_INVERSE or gate.name in _ROTATIONS
+    if not cancelable:
+        return None
+    qubits = set(gate.qubits)
+    for index in range(len(emitted) - 1, -1, -1):
+        previous = emitted[index]
+        if previous.name == "barrier" and qubits & set(previous.qubits):
+            return None
+        if not qubits & set(previous.qubits):
+            continue
+        is_partner = (
+            _symmetric_pair_equal(previous, gate)
+            if gate.name in _SELF_INVERSE
+            else previous.name == gate.name and previous.qubits == gate.qubits
+        )
+        return index if is_partner else None
+    return None
+
+
+def cancellation_savings(circuit: Circuit) -> dict[str, int]:
+    """Gate/CNOT counts before and after cancellation (for reports)."""
+    optimized = cancel_gates(circuit)
+    return {
+        "gates_before": circuit.num_gates(),
+        "gates_after": optimized.num_gates(),
+        "cnots_before": circuit.num_cnots(),
+        "cnots_after": optimized.num_cnots(),
+    }

@@ -1,0 +1,30 @@
+"""The paper's primary contribution: Pauli-string-centric co-optimization.
+
+* :mod:`repro.core.ir`          -- the Pauli-string IR between algorithm
+  and compiler ("a new intermediate representation above quantum
+  circuits");
+* :mod:`repro.core.importance`  -- parameter importance estimation
+  (Algorithm 1);
+* :mod:`repro.core.compression` -- hardware-friendly compressed ansatz
+  construction (Section III-B);
+* :mod:`repro.core.pipeline`    -- the end-to-end co-optimization flow of
+  Figure 1 (Hamiltonian -> compressed IR -> X-Tree circuit).
+"""
+
+from repro.core.ir import IRTerm, PauliProgram
+from repro.core.importance import decay_factor, parameter_importance, string_score
+from repro.core.compression import CompressedAnsatz, compress_ansatz, random_ansatz
+from repro.core.pipeline import CoOptimizationResult, co_optimize
+
+__all__ = [
+    "IRTerm",
+    "PauliProgram",
+    "decay_factor",
+    "string_score",
+    "parameter_importance",
+    "CompressedAnsatz",
+    "compress_ansatz",
+    "random_ansatz",
+    "CoOptimizationResult",
+    "co_optimize",
+]

@@ -1,0 +1,80 @@
+"""Hardware-friendly ansatz construction (Section III-B).
+
+Given a compression ratio ``alpha`` and the K-parameter UCCSD program,
+keep the ``ceil(alpha * K)`` most important parameters and order them by
+*decreasing* importance.  The ordering is the hardware-friendliness lever:
+early strings concentrate on low-energy orbitals, creating the gate
+locality the Merge-to-Root compiler exploits (Section VI-F).
+
+A random-selection baseline ("Rand. 50%" in Figure 9) is provided for the
+effectiveness comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.importance import parameter_importance
+from repro.core.ir import PauliProgram
+from repro.pauli import PauliSum
+
+
+@dataclass
+class CompressedAnsatz:
+    """A compressed Pauli program plus provenance information."""
+
+    program: PauliProgram
+    kept_parameters: list[int]      # original parameter indices, in new order
+    importance: np.ndarray          # importance of *all* original parameters
+    ratio: float
+
+    @property
+    def num_parameters(self) -> int:
+        return self.program.num_parameters
+
+
+def _kept_count(total: int, ratio: float) -> int:
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError(f"compression ratio must be in (0, 1], got {ratio}")
+    return min(total, math.ceil(ratio * total))
+
+
+def compress_ansatz(
+    program: PauliProgram,
+    hamiltonian: PauliSum,
+    ratio: float,
+    *,
+    decay_base: float = 2.0,
+) -> CompressedAnsatz:
+    """Keep the top ``ceil(ratio * K)`` parameters, importance-ordered."""
+    importance = parameter_importance(program, hamiltonian, decay_base=decay_base)
+    keep = _kept_count(program.num_parameters, ratio)
+    # Stable sort: ties broken by original parameter order (determinism).
+    order = np.argsort(-importance, kind="stable")[:keep]
+    kept = [int(k) for k in order]
+    return CompressedAnsatz(
+        program=program.restricted_to(kept),
+        kept_parameters=kept,
+        importance=importance,
+        ratio=ratio,
+    )
+
+
+def random_ansatz(
+    program: PauliProgram,
+    ratio: float,
+    seed: int | None = None,
+) -> CompressedAnsatz:
+    """Baseline: keep a uniformly random parameter subset (program order)."""
+    rng = np.random.default_rng(seed)
+    keep = _kept_count(program.num_parameters, ratio)
+    kept = sorted(int(k) for k in rng.choice(program.num_parameters, keep, replace=False))
+    return CompressedAnsatz(
+        program=program.restricted_to(kept),
+        kept_parameters=kept,
+        importance=np.zeros(program.num_parameters),
+        ratio=ratio,
+    )

@@ -1,0 +1,31 @@
+"""Superconducting processor architecture substrate (Section IV).
+
+* :mod:`repro.hardware.coupling`   -- coupling-graph abstraction with the
+  level structure the compiler consumes;
+* :mod:`repro.hardware.xtree`      -- the paper's X-Tree architectures
+  (XTree5Q / 8Q / 17Q / 26Q and arbitrary sizes);
+* :mod:`repro.hardware.grid`       -- the Grid17Q baseline (IBM-style
+  17-qubit lattice with 24 connections) and generic 2D grids;
+* :mod:`repro.hardware.frequency`  -- fixed-frequency transmon model:
+  frequency allocation and Brink-style collision conditions;
+* :mod:`repro.hardware.yield_model`-- Monte-Carlo fabrication yield
+  (Figure 11 methodology, following Li/Ding/Xie ASPLOS'20 [56]).
+"""
+
+from repro.hardware.coupling import CouplingGraph
+from repro.hardware.xtree import xtree, XTREE_SIZES
+from repro.hardware.grid import grid17q, grid
+from repro.hardware.frequency import allocate_frequencies, CollisionModel
+from repro.hardware.yield_model import estimate_yield, YieldEstimate
+
+__all__ = [
+    "CouplingGraph",
+    "xtree",
+    "XTREE_SIZES",
+    "grid17q",
+    "grid",
+    "allocate_frequencies",
+    "CollisionModel",
+    "estimate_yield",
+    "YieldEstimate",
+]

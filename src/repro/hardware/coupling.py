@@ -1,0 +1,159 @@
+"""Coupling-graph abstraction for superconducting processors.
+
+A :class:`CouplingGraph` is an undirected graph over physical qubits plus
+the derived structure the rest of the stack queries constantly: adjacency
+sets, all-pairs shortest-path distances (SABRE's heuristic), BFS levels
+from a designated center (the hierarchical initial layout), and parent
+pointers when the graph is a tree (Merge-to-Root).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+
+@dataclass
+class CouplingGraph:
+    """An undirected physical coupling graph."""
+
+    num_qubits: int
+    edges: list[tuple[int, int]]
+    name: str = "device"
+    center: int | None = None
+    _adjacency: list[set[int]] = field(init=False, repr=False)
+    _levels: list[int] | None = field(default=None, init=False, repr=False)
+    _distances: np.ndarray | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        normalized = []
+        seen = set()
+        adjacency: list[set[int]] = [set() for _ in range(self.num_qubits)]
+        for a, b in self.edges:
+            if a == b:
+                raise ValueError(f"self-loop on qubit {a}")
+            if not (0 <= a < self.num_qubits and 0 <= b < self.num_qubits):
+                raise ValueError(f"edge ({a}, {b}) out of range")
+            key = (min(a, b), max(a, b))
+            if key in seen:
+                continue
+            seen.add(key)
+            normalized.append(key)
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        self.edges = normalized
+        self._adjacency = adjacency
+        if self.center is None:
+            self.center = self._graph_center()
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+    def neighbors(self, qubit: int) -> set[int]:
+        return self._adjacency[qubit]
+
+    def degree(self, qubit: int) -> int:
+        return len(self._adjacency[qubit])
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def are_connected(self, a: int, b: int) -> bool:
+        return b in self._adjacency[a]
+
+    def is_tree(self) -> bool:
+        return self.num_edges == self.num_qubits - 1 and self.is_connected()
+
+    def is_connected(self) -> bool:
+        if self.num_qubits == 0:
+            return True
+        seen = {0}
+        queue = deque([0])
+        while queue:
+            node = queue.popleft()
+            for neighbor in self._adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        return len(seen) == self.num_qubits
+
+    def to_networkx(self) -> nx.Graph:
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.num_qubits))
+        graph.add_edges_from(self.edges)
+        return graph
+
+    def _graph_center(self) -> int:
+        """A qubit minimizing eccentricity (the root for level purposes)."""
+        if self.num_qubits == 0:
+            return 0
+        if not self.is_connected():
+            return 0
+        distances = self.distance_matrix()
+        eccentricity = distances.max(axis=1)
+        return int(np.argmin(eccentricity))
+
+    # ------------------------------------------------------------------
+    # Derived structure for the compiler
+    # ------------------------------------------------------------------
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs shortest-path hop counts (BFS per node)."""
+        if self._distances is not None:
+            return self._distances
+        n = self.num_qubits
+        distances = np.full((n, n), n + 1, dtype=np.int64)
+        for source in range(n):
+            distances[source, source] = 0
+            queue = deque([source])
+            while queue:
+                node = queue.popleft()
+                for neighbor in self._adjacency[node]:
+                    if distances[source, neighbor] > distances[source, node] + 1:
+                        distances[source, neighbor] = distances[source, node] + 1
+                        queue.append(neighbor)
+        self._distances = distances
+        return distances
+
+    def levels(self) -> list[int]:
+        """BFS depth of every qubit from the center.
+
+        For X-Tree devices this is the paper's level structure (root =
+        level 0, its neighbors level 1, ...).
+        """
+        if self._levels is None:
+            distances = self.distance_matrix()
+            self._levels = [int(d) for d in distances[self.center]]
+        return self._levels
+
+    def parent(self, qubit: int) -> int | None:
+        """Parent toward the center (None for the center itself).
+
+        Well-defined on trees; on general graphs an arbitrary minimal-
+        level neighbor is chosen.
+        """
+        if qubit == self.center:
+            return None
+        levels = self.levels()
+        candidates = [n for n in self._adjacency[qubit] if levels[n] == levels[qubit] - 1]
+        if not candidates:
+            return None
+        return min(candidates)
+
+    def children(self, qubit: int) -> list[int]:
+        levels = self.levels()
+        return sorted(
+            n for n in self._adjacency[qubit] if levels[n] == levels[qubit] + 1
+        )
+
+    def max_level(self) -> int:
+        return max(self.levels())
+
+    def __repr__(self) -> str:
+        return (
+            f"CouplingGraph({self.name}: {self.num_qubits} qubits, "
+            f"{self.num_edges} edges)"
+        )

@@ -1,0 +1,140 @@
+"""Fixed-frequency transmon frequency model.
+
+Following the methodology the paper adopts from [56] (Li/Ding/Xie,
+ASPLOS'20) with the frequency-collision conditions of Brink et al.
+(IEDM'18) [32]: each qubit gets a *designed* frequency; fabrication
+perturbs it by a Gaussian of standard deviation equal to the "fabrication
+precision" (the x-axis of Figure 11); a chip functions only if no
+coupled pair or spectator triple lands in a collision window.
+
+Collision conditions for a cross-resonance pair (control j, target k)
+with anharmonicity ``alpha`` (~ -330 MHz), expressed on the qubit
+frequencies f (GHz):
+
+    C1  |fj - fk| < 17 MHz                 (degenerate 01 transitions)
+    C2  |fj - fk - alpha/2| < 4 MHz        (two-photon 02 resonance)
+    C3  |fj - fk - alpha| < 25 MHz         (01 vs 12 degeneracy)
+    C4  |fj - fk| > |alpha|                (CR gate too slow / unaddressable)
+    C5  spectator i of k (i != j): |fj - fi| < 17 MHz
+
+C1-C3 are symmetrized over the pair orientation; C5 is evaluated for
+every connected triple.  The paper's Figure 11 x-axis ("fabrication
+precision", GHz) is converted to an on-chip frequency standard deviation
+through a lumped sensitivity factor (see
+:data:`repro.hardware.yield_model.FREQUENCY_SENSITIVITY`): transmon
+frequency scales as sqrt(E_J), so frequency deviations are a fraction of
+the junction-parameter deviation the axis quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.coupling import CouplingGraph
+
+
+@dataclass(frozen=True)
+class CollisionModel:
+    """Thresholds (GHz) of the collision conditions."""
+
+    anharmonicity: float = -0.33
+    window_degenerate: float = 0.017
+    window_two_photon: float = 0.004
+    window_01_12: float = 0.025
+
+    def pair_collides(self, fj: float, fk: float) -> bool:
+        """Conditions C1-C4 for a coupled pair (orientation-symmetric)."""
+        alpha = self.anharmonicity
+        delta = fj - fk
+        if abs(delta) < self.window_degenerate:
+            return True
+        for oriented in (delta, -delta):
+            if abs(oriented - alpha / 2.0) < self.window_two_photon:
+                return True
+            if abs(oriented - alpha) < self.window_01_12:
+                return True
+        if abs(delta) > abs(alpha):
+            return True
+        return False
+
+    def spectator_collides(self, fj: float, fi: float) -> bool:
+        """Condition C5: two distinct neighbors of a qubit must not be
+        degenerate (addressing one would drive the other through their
+        shared coupler)."""
+        return abs(fj - fi) < self.window_degenerate
+
+
+def _margin(model: CollisionModel, fj: float, fk: float) -> float:
+    """Distance to the nearest collision window edge for a pair (>= 0 good)."""
+    alpha = model.anharmonicity
+    delta = abs(fj - fk)
+    margins = [
+        delta - model.window_degenerate,
+        abs(abs(fj - fk) - abs(alpha) / 2.0) - model.window_two_photon,
+        abs(abs(fj - fk) - abs(alpha)) - model.window_01_12,
+        abs(alpha) - delta,
+    ]
+    return min(margins)
+
+
+def allocate_frequencies(
+    graph: CouplingGraph,
+    model: CollisionModel | None = None,
+    *,
+    f_min: float = 5.00,
+    f_max: float = 5.30,
+    step: float = 0.01,
+) -> np.ndarray:
+    """Greedy max-margin designed-frequency allocation.
+
+    Qubits are assigned in BFS order from the device center; each takes
+    the candidate frequency maximizing its worst margin against already-
+    assigned neighbors and next-nearest neighbors.  This mirrors the
+    margin-driven allocator of [56] closely enough to compare
+    architectures fairly (both devices get the same allocator).
+    """
+    model = model or CollisionModel()
+    candidates = np.arange(f_min, f_max + step / 2.0, step)
+    frequencies = np.full(graph.num_qubits, np.nan)
+    order = sorted(range(graph.num_qubits), key=lambda q: graph.levels()[q])
+    for qubit in order:
+        neighbor_set = graph.neighbors(qubit)
+        next_nearest = set()
+        for neighbor in neighbor_set:
+            next_nearest |= graph.neighbors(neighbor)
+        next_nearest.discard(qubit)
+        best_frequency = candidates[0]
+        best_margin = -np.inf
+        for f in candidates:
+            margin = np.inf
+            for neighbor in neighbor_set:
+                if not np.isnan(frequencies[neighbor]):
+                    margin = min(margin, _margin(model, f, frequencies[neighbor]))
+            for spectator in next_nearest:
+                if not np.isnan(frequencies[spectator]):
+                    spread = abs(f - frequencies[spectator]) - model.window_degenerate
+                    margin = min(margin, spread)
+            if margin > best_margin:
+                best_margin = margin
+                best_frequency = f
+        frequencies[qubit] = best_frequency
+    return frequencies
+
+
+def chip_functions(
+    graph: CouplingGraph, frequencies: np.ndarray, model: CollisionModel | None = None
+) -> bool:
+    """True when no collision condition fires anywhere on the chip."""
+    model = model or CollisionModel()
+    for a, b in graph.edges:
+        if model.pair_collides(frequencies[a], frequencies[b]):
+            return False
+    for k in range(graph.num_qubits):
+        neighbors = sorted(graph.neighbors(k))
+        for i_pos, i in enumerate(neighbors):
+            for j in neighbors[i_pos + 1:]:
+                if model.spectator_collides(frequencies[j], frequencies[i]):
+                    return False
+    return True

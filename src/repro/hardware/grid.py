@@ -1,0 +1,73 @@
+"""Grid baselines (Section VI-A): the 17-qubit 2D-grid device.
+
+``grid17q`` reproduces IBM's 17-qubit lattice [32]: 9 "data" qubits on a
+3x3 grid interleaved with 8 coupler qubits (4 bulk, degree 4; 4 boundary,
+degree 2), totalling 24 connections -- the figure the paper compares
+against XTree17Q's 16 connections.  A generic rectangular ``grid`` is
+also provided for ablations.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.coupling import CouplingGraph
+
+
+def grid(rows: int, cols: int) -> CouplingGraph:
+    """Plain rows x cols nearest-neighbor lattice."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+
+    def index(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((index(r, c), index(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((index(r, c), index(r + 1, c)))
+    return CouplingGraph(rows * cols, edges, name=f"Grid{rows}x{cols}")
+
+
+def grid17q() -> CouplingGraph:
+    """IBM-style 17-qubit device: 3x3 data grid + 8 couplers, 24 edges.
+
+    Layout (data qubits d0..d8 at integer coordinates, bulk ancillas a/b
+    at square centers, boundary ancillas on two opposing pairs of sides):
+
+        d0 --- d1 --- d2
+         |  A0  |  A1  |
+        d3 --- d4 --- d5
+         |  A2  |  A3  |
+        d6 --- d7 --- d8   (grid edges replaced by coupler paths)
+
+    Qubits 0..8 are the data grid (row-major), 9..12 the four bulk
+    couplers (each touching the four data qubits of its square), 13..16
+    the boundary couplers (each touching two data qubits).
+    """
+    def data(r: int, c: int) -> int:
+        return 3 * r + c
+
+    edges: list[tuple[int, int]] = []
+    bulk_squares = [(0, 0), (0, 1), (1, 0), (1, 1)]
+    for k, (r, c) in enumerate(bulk_squares):
+        ancilla = 9 + k
+        edges += [
+            (ancilla, data(r, c)),
+            (ancilla, data(r, c + 1)),
+            (ancilla, data(r + 1, c)),
+            (ancilla, data(r + 1, c + 1)),
+        ]
+    boundary_pairs = [
+        (data(0, 1), data(0, 2)),  # top
+        (data(2, 0), data(2, 1)),  # bottom
+        (data(0, 0), data(1, 0)),  # left
+        (data(1, 2), data(2, 2)),  # right
+    ]
+    for k, (a, b) in enumerate(boundary_pairs):
+        ancilla = 13 + k
+        edges += [(ancilla, a), (ancilla, b)]
+    graph = CouplingGraph(17, edges, name="Grid17Q", center=data(1, 1))
+    assert graph.num_edges == 24, "Grid17Q must have 24 connections"
+    return graph

@@ -1,0 +1,97 @@
+"""X-Tree architecture construction (Section IV-A).
+
+The coupling graph is always a tree (N - 1 connections for N qubits, the
+minimum possible) with every qubit limited to four neighbors, matching
+the paper's physical constraint for fixed-frequency transmons with bus
+resonators.  Construction grows breadth-first from the root: the root
+takes four children, every other qubit takes up to three (its fourth
+connection is to its parent), which reproduces the published XTree5Q,
+XTree8Q, XTree17Q and XTree26Q instances:
+
+    5  = 1 + 4
+    8  = 5 + 3                 (one leaf of XTree5Q extended)
+    17 = 1 + 4 + 4*3           (all level-1 qubits extended)
+    26 = 17 + 3*3              (three level-2 qubits extended)
+"""
+
+from __future__ import annotations
+
+from repro.hardware.coupling import CouplingGraph
+
+#: Sizes shown in Figure 6 of the paper.
+XTREE_SIZES = (5, 8, 17, 26)
+
+_MAX_DEGREE = 4
+
+
+def xtree(num_qubits: int) -> CouplingGraph:
+    """Build the X-Tree with ``num_qubits`` qubits (root = qubit 0)."""
+    if num_qubits < 1:
+        raise ValueError("need at least one qubit")
+    edges: list[tuple[int, int]] = []
+    # Queue of (qubit, remaining child slots); the root may take 4
+    # children, everyone else 3 (one connection is used by the parent).
+    frontier: list[int] = [0]
+    capacity = {0: _MAX_DEGREE}
+    next_qubit = 1
+    while next_qubit < num_qubits:
+        if not frontier:
+            raise RuntimeError("frontier exhausted; degree bound too small")
+        parent = frontier[0]
+        edges.append((parent, next_qubit))
+        capacity[parent] -= 1
+        if capacity[parent] == 0:
+            frontier.pop(0)
+        capacity[next_qubit] = _MAX_DEGREE - 1
+        frontier.append(next_qubit)
+        next_qubit += 1
+    return CouplingGraph(
+        num_qubits=num_qubits, edges=edges, name=f"XTree{num_qubits}Q", center=0
+    )
+
+
+def xtree17q() -> CouplingGraph:
+    return xtree(17)
+
+
+def xtree_with_degrees(num_qubits: int, degrees_per_level: list[int]) -> CouplingGraph:
+    """X-Tree variant with a chosen branching factor per level.
+
+    Section VII raises "tree structures with different degrees at
+    different levels" as a Pareto-exploration direction; this constructor
+    realizes them.  ``degrees_per_level[k]`` is the number of children a
+    level-k qubit may take (the root's entry counts all its connections,
+    deeper entries exclude the parent link).  Levels beyond the list reuse
+    its last entry.
+
+    Example: ``xtree_with_degrees(13, [4, 2])`` is a root with four
+    binary subtrees.
+    """
+    if num_qubits < 1:
+        raise ValueError("need at least one qubit")
+    if not degrees_per_level or any(d < 1 for d in degrees_per_level):
+        raise ValueError("each level must allow at least one child")
+
+    def capacity_at(level: int) -> int:
+        index = min(level, len(degrees_per_level) - 1)
+        return degrees_per_level[index]
+
+    edges: list[tuple[int, int]] = []
+    frontier: list[tuple[int, int]] = [(0, 0)]  # (qubit, level)
+    remaining = {0: capacity_at(0)}
+    next_qubit = 1
+    while next_qubit < num_qubits:
+        if not frontier:
+            raise ValueError(
+                f"degree profile {degrees_per_level} cannot host {num_qubits} qubits"
+            )
+        parent, level = frontier[0]
+        edges.append((parent, next_qubit))
+        remaining[parent] -= 1
+        if remaining[parent] == 0:
+            frontier.pop(0)
+        remaining[next_qubit] = capacity_at(level + 1)
+        frontier.append((next_qubit, level + 1))
+        next_qubit += 1
+    name = f"XTree{num_qubits}Q-d{'.'.join(str(d) for d in degrees_per_level)}"
+    return CouplingGraph(num_qubits=num_qubits, edges=edges, name=name, center=0)

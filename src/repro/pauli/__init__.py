@@ -1,0 +1,18 @@
+"""Pauli-string algebra substrate.
+
+Pauli strings are the key abstraction layer of the paper: the molecular
+Hamiltonian is a weighted sum of Pauli strings, the UCCSD ansatz is a
+sequence of Pauli-string time-evolution circuits, and all three
+co-optimizations (ansatz compression, X-Tree architecture, Merge-to-Root
+compilation) reason directly about Pauli strings.
+
+This package provides an efficient symplectic (bitmask) representation:
+
+* :class:`PauliString` -- a single n-qubit Pauli operator ``G_{n-1}...G_0``.
+* :class:`PauliSum`    -- a complex-weighted sum of Pauli strings.
+"""
+
+from repro.pauli.pauli_string import PauliString
+from repro.pauli.pauli_sum import PauliSum
+
+__all__ = ["PauliString", "PauliSum"]

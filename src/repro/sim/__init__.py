@@ -1,0 +1,32 @@
+"""Simulation substrate.
+
+* :mod:`repro.sim.statevector` -- gate-level statevector simulator
+  (the stand-in for Qiskit Aer's statevector simulator).
+* :mod:`repro.sim.pauli_evolution` -- fast application of ``exp(i theta P)``
+  directly to statevectors (the workhorse of the VQE energy loop).
+* :mod:`repro.sim.expectation` -- grouped Pauli-sum expectation values.
+* :mod:`repro.sim.density_matrix` -- exact density-matrix simulator with
+  noise channels (the stand-in for Aer's qasm simulator + noise model).
+* :mod:`repro.sim.exact` -- sparse exact ground-state solver ("Ground
+  State" reference curves in Figure 9).
+"""
+
+from repro.sim.statevector import StatevectorSimulator, basis_state, apply_circuit
+from repro.sim.pauli_evolution import apply_pauli, apply_pauli_exponential
+from repro.sim.expectation import ExpectationEngine, expectation
+from repro.sim.exact import ground_state_energy
+from repro.sim.density_matrix import DensityMatrixSimulator
+from repro.sim.noise import DepolarizingNoiseModel
+
+__all__ = [
+    "StatevectorSimulator",
+    "DensityMatrixSimulator",
+    "DepolarizingNoiseModel",
+    "ExpectationEngine",
+    "basis_state",
+    "apply_circuit",
+    "apply_pauli",
+    "apply_pauli_exponential",
+    "expectation",
+    "ground_state_energy",
+]

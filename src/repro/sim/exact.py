@@ -1,0 +1,55 @@
+"""Exact ground-state solver for qubit Hamiltonians.
+
+Provides the "Ground State" reference line of Figure 9: the lowest
+eigenvalue of ``H = sum w_j P_j`` computed with a matrix-free Lanczos
+(scipy ``eigsh`` over a LinearOperator built on the grouped Pauli
+evaluator), falling back to dense diagonalization for tiny systems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse.linalg import LinearOperator, eigsh
+
+from repro.pauli import PauliSum
+from repro.sim.expectation import ExpectationEngine
+
+_DENSE_QUBIT_LIMIT = 6
+
+
+def ground_state_energy(hamiltonian: PauliSum, *, k: int = 1) -> float:
+    """Lowest eigenvalue of the Hamiltonian (Hartree for molecules)."""
+    return ground_state(hamiltonian, k=k)[0]
+
+
+def ground_state(hamiltonian: PauliSum, *, k: int = 1) -> tuple[float, np.ndarray]:
+    """Lowest eigenvalue and eigenvector of the Hamiltonian."""
+    n = hamiltonian.num_qubits
+    dim = 1 << n
+    if n <= _DENSE_QUBIT_LIMIT:
+        matrix = hamiltonian.to_matrix()
+        values, vectors = np.linalg.eigh(matrix)
+        return float(values[0]), vectors[:, 0]
+
+    engine = ExpectationEngine(hamiltonian)
+
+    def matvec(vector: np.ndarray) -> np.ndarray:
+        return engine.apply(vector.astype(complex))
+
+    operator = LinearOperator((dim, dim), matvec=matvec, dtype=complex)
+    values, vectors = eigsh(operator, k=max(k, 1), which="SA")
+    order = np.argsort(values)
+    return float(values[order[0]]), vectors[:, order[0]]
+
+
+def spectrum(hamiltonian: PauliSum, k: int = 4) -> np.ndarray:
+    """The ``k`` lowest eigenvalues (diagnostics / tests)."""
+    n = hamiltonian.num_qubits
+    if n <= _DENSE_QUBIT_LIMIT:
+        return np.sort(np.linalg.eigvalsh(hamiltonian.to_matrix()))[:k]
+    engine = ExpectationEngine(hamiltonian)
+    operator = LinearOperator(
+        (1 << n, 1 << n), matvec=lambda v: engine.apply(v.astype(complex)), dtype=complex
+    )
+    values, _ = eigsh(operator, k=k, which="SA")
+    return np.sort(values)

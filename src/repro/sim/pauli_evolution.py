@@ -1,0 +1,74 @@
+"""Fast Pauli-string action and exponential on statevectors.
+
+Because every Pauli string is a signed permutation in the computational
+basis, ``P |psi>`` can be evaluated in O(2^n) with bit arithmetic, and
+
+    exp(i theta P) |psi> = cos(theta) |psi> + i sin(theta) P |psi>
+
+(P is an involution).  The VQE energy loop evolves the ansatz directly at
+the Pauli level through this identity, which is dramatically faster than
+gate-by-gate simulation of the synthesized circuit while being exactly
+equivalent (the synthesized circuits are verified against this in tests).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.pauli import PauliString
+
+_INDEX_CACHE: dict[int, np.ndarray] = {}
+
+
+def _all_indices(num_qubits: int) -> np.ndarray:
+    """Cached ``arange(2^n)`` (uint64) reused across calls."""
+    cached = _INDEX_CACHE.get(num_qubits)
+    if cached is None:
+        cached = np.arange(1 << num_qubits, dtype=np.uint64)
+        if num_qubits <= 24:
+            _INDEX_CACHE[num_qubits] = cached
+    return cached
+
+
+def parity_signs(num_qubits: int, z_mask: int) -> np.ndarray:
+    """Vector of ``(-1)^{popcount(b & z_mask)}`` over all basis states b."""
+    indices = _all_indices(num_qubits)
+    parity = np.bitwise_count(indices & np.uint64(z_mask)) & 1
+    return 1.0 - 2.0 * parity.astype(np.float64)
+
+
+def apply_pauli(pauli: PauliString, state: np.ndarray) -> np.ndarray:
+    """Return ``P |state>``.
+
+    Derivation: ``P|c> = i^{#Y} (-1)^{popcount(c & z)} |c ^ x>``, so the
+    new amplitude at ``b`` is ``phase(b ^ x) * psi[b ^ x]``.
+    """
+    n = pauli.num_qubits
+    if state.shape[0] != (1 << n):
+        raise ValueError("state dimension does not match Pauli size")
+    signs = parity_signs(n, pauli.z)
+    phase = (1j) ** (pauli.y_count() % 4)
+    result = phase * (signs * state)
+    if pauli.x:
+        indices = _all_indices(n) ^ np.uint64(pauli.x)
+        result = result[indices]
+    return result
+
+
+def apply_pauli_exponential(pauli: PauliString, theta: float, state: np.ndarray) -> np.ndarray:
+    """Return ``exp(i theta P) |state>``."""
+    if pauli.is_identity():
+        return np.exp(1j * theta) * state
+    return math.cos(theta) * state + 1j * math.sin(theta) * apply_pauli(pauli, state)
+
+
+def evolve_pauli_sequence(
+    terms: list[tuple[PauliString, float]], state: np.ndarray
+) -> np.ndarray:
+    """Apply ``prod_k exp(i theta_k P_k)`` (first term applied first)."""
+    current = state
+    for pauli, theta in terms:
+        current = apply_pauli_exponential(pauli, theta, current)
+    return current

@@ -1,0 +1,108 @@
+"""Gate-level statevector simulator.
+
+States are little-endian: basis index ``b`` has qubit ``i`` in state
+``(b >> i) & 1``.  Gates are applied by reshaping the state tensor so the
+acted-on axes are contiguous, then contracting with the gate matrix --
+the standard dense-simulation approach, entirely in NumPy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit import Circuit
+from repro.circuit.gates import Gate
+
+
+def basis_state(num_qubits: int, index: int = 0) -> np.ndarray:
+    """The computational basis state ``|index>`` as a statevector."""
+    if not 0 <= index < (1 << num_qubits):
+        raise ValueError(f"basis index {index} out of range for {num_qubits} qubits")
+    state = np.zeros(1 << num_qubits, dtype=complex)
+    state[index] = 1.0
+    return state
+
+
+def _apply_single_qubit(state: np.ndarray, matrix: np.ndarray, qubit: int, n: int) -> np.ndarray:
+    """Contract a 2x2 matrix into axis ``qubit`` of the state tensor."""
+    tensor = state.reshape([2] * n)
+    # Axis order in the reshaped tensor: axis 0 is the *highest* qubit.
+    axis = n - 1 - qubit
+    tensor = np.tensordot(matrix, tensor, axes=([1], [axis]))
+    # tensordot moved the contracted axis to the front; move it back.
+    tensor = np.moveaxis(tensor, 0, axis)
+    return np.ascontiguousarray(tensor).reshape(-1)
+
+
+def _apply_two_qubit(
+    state: np.ndarray, matrix: np.ndarray, qubit_a: int, qubit_b: int, n: int
+) -> np.ndarray:
+    """Contract a 4x4 matrix into axes (qubit_a, qubit_b).
+
+    Matrix convention: within the gate, the first listed qubit is the least
+    significant bit of the 2-bit index (see :mod:`repro.circuit.gates`).
+    """
+    tensor = state.reshape([2] * n)
+    axis_a = n - 1 - qubit_a
+    axis_b = n - 1 - qubit_b
+    gate_tensor = matrix.reshape(2, 2, 2, 2)
+    # gate_tensor indices: [out_b, out_a, in_b, in_a] because bit 1 of the
+    # 4-dim index is qubit_b and bit 0 is qubit_a.
+    tensor = np.tensordot(gate_tensor, tensor, axes=([2, 3], [axis_b, axis_a]))
+    # Contracted axes land at the front as (out_b, out_a).
+    tensor = np.moveaxis(tensor, [0, 1], [axis_b, axis_a])
+    return np.ascontiguousarray(tensor).reshape(-1)
+
+
+def apply_gate(state: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
+    """Apply one gate to a statevector, returning the new statevector."""
+    if gate.name in ("barrier", "measure"):
+        return state
+    matrix = gate.matrix()
+    if gate.num_qubits == 1:
+        return _apply_single_qubit(state, matrix, gate.qubits[0], num_qubits)
+    if gate.num_qubits == 2:
+        return _apply_two_qubit(state, matrix, gate.qubits[0], gate.qubits[1], num_qubits)
+    raise ValueError(f"unsupported gate arity: {gate!r}")
+
+
+def apply_circuit(circuit: Circuit, state: np.ndarray | None = None) -> np.ndarray:
+    """Run a circuit on ``state`` (defaults to ``|0...0>``)."""
+    if state is None:
+        state = basis_state(circuit.num_qubits)
+    current = np.asarray(state, dtype=complex)
+    for gate in circuit.gates:
+        current = apply_gate(current, gate, circuit.num_qubits)
+    return current
+
+
+class StatevectorSimulator:
+    """Stateful simulator wrapper with sampling support."""
+
+    def __init__(self, num_qubits: int, seed: int | None = None):
+        self.num_qubits = num_qubits
+        self.state = basis_state(num_qubits)
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> "StatevectorSimulator":
+        self.state = basis_state(self.num_qubits)
+        return self
+
+    def run(self, circuit: Circuit) -> np.ndarray:
+        if circuit.num_qubits != self.num_qubits:
+            raise ValueError("qubit count mismatch")
+        self.state = apply_circuit(circuit, self.state)
+        return self.state
+
+    def probabilities(self) -> np.ndarray:
+        return np.abs(self.state) ** 2
+
+    def sample(self, shots: int) -> np.ndarray:
+        """Sample ``shots`` basis-state indices from the current state."""
+        probs = self.probabilities()
+        probs = probs / probs.sum()
+        return self._rng.choice(len(probs), size=shots, p=probs)
+
+    def sample_counts(self, shots: int) -> dict[int, int]:
+        outcomes, counts = np.unique(self.sample(shots), return_counts=True)
+        return {int(o): int(c) for o, c in zip(outcomes, counts)}

@@ -1,0 +1,36 @@
+"""VQE driver (Section II-B execution flow).
+
+* :mod:`repro.vqe.energy`      -- energy evaluators: exact statevector
+  (Aer-statevector stand-in), exact density matrix with noise
+  (Aer-qasm + noise-model stand-in), and shot-based sampling;
+* :mod:`repro.vqe.measurement` -- qubit-wise-commuting measurement
+  grouping (the inner loop);
+* :mod:`repro.vqe.optimizer`   -- SLSQP/COBYLA outer loop [55] with
+  iteration accounting;
+* :mod:`repro.vqe.runner`      -- the VQE object tying them together;
+* :mod:`repro.vqe.scan`        -- bond-length scans (Figure 9 workloads).
+"""
+
+from repro.vqe.energy import (
+    StatevectorEnergy,
+    DensityMatrixEnergy,
+    SamplingEnergy,
+)
+from repro.vqe.measurement import group_commuting_terms, MeasurementGroup
+from repro.vqe.optimizer import minimize_energy, OptimizationOutcome
+from repro.vqe.runner import VQE, VQEResult
+from repro.vqe.scan import bond_scan, ScanPoint
+
+__all__ = [
+    "StatevectorEnergy",
+    "DensityMatrixEnergy",
+    "SamplingEnergy",
+    "group_commuting_terms",
+    "MeasurementGroup",
+    "minimize_energy",
+    "OptimizationOutcome",
+    "VQE",
+    "VQEResult",
+    "bond_scan",
+    "ScanPoint",
+]

@@ -1,0 +1,71 @@
+"""Analytic gradients via the parameter-shift rule.
+
+For an ansatz factor ``exp(i theta c P)`` (P a Pauli string, so the
+generator has eigenvalues +-c), the derivative of any expectation value
+obeys the parameter-shift identity
+
+    dE/dtheta = c * [ E(theta + s) - E(theta - s) ],   s = pi / (4 c)
+
+When a parameter drives several strings (every UCCSD double does), the
+product rule sums one shift pair per string.  The gradient is exact --
+tests compare it against finite differences -- and gives the optimizer an
+alternative to SLSQP's numerical differencing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.ir import PauliProgram
+from repro.pauli import PauliSum
+from repro.vqe.energy import StatevectorEnergy
+
+
+class ParameterShiftGradient:
+    """Exact gradient of the statevector energy of a Pauli program."""
+
+    def __init__(self, program: PauliProgram, hamiltonian: PauliSum):
+        self.program = program
+        self.energy = StatevectorEnergy(program, hamiltonian)
+        self._terms_of_parameter = program.parameters_of_terms()
+
+    def value(self, parameters: Sequence[float]) -> float:
+        return self.energy(parameters)
+
+    def gradient(self, parameters: Sequence[float]) -> np.ndarray:
+        """dE/dtheta_k for every parameter, via shifted evaluations.
+
+        Cost: two energy evaluations per (parameter, string) pair.  The
+        shift is applied to a *clone* program in which the target string
+        gets its own temporary parameter slot.
+        """
+        base = np.asarray(parameters, dtype=float)
+        if base.shape != (self.program.num_parameters,):
+            raise ValueError("parameter vector has the wrong length")
+        gradient = np.zeros(self.program.num_parameters)
+        for parameter, positions in self._terms_of_parameter.items():
+            for position in positions:
+                coefficient = self.program.terms[position].coefficient
+                if coefficient == 0.0:
+                    continue
+                shift = math.pi / (4.0 * coefficient)
+                plus = self._shifted_energy(base, position, +shift)
+                minus = self._shifted_energy(base, position, -shift)
+                gradient[parameter] += coefficient * (plus - minus)
+        return gradient
+
+    def _shifted_energy(
+        self, parameters: np.ndarray, position: int, shift: float
+    ) -> float:
+        """Energy with one string's angle shifted (others unchanged)."""
+        bound = self.program.bound_terms(parameters)
+        pauli, angle = bound[position]
+        bound[position] = (pauli, angle + shift * self.program.terms[position].coefficient)
+        from repro.sim.pauli_evolution import evolve_pauli_sequence
+        from repro.vqe.energy import _initial_state
+
+        state = evolve_pauli_sequence(bound, _initial_state(self.program))
+        return self.energy.engine.value(state)

@@ -1,0 +1,63 @@
+"""Qubit-wise-commuting measurement grouping.
+
+The VQE inner loop measures every Hamiltonian Pauli string; strings that
+agree qubit-by-qubit (up to identities) can share one measured circuit
+with a single layer of basis-change gates (the paper notes such
+measurement optimizations [63]-[67] are orthogonal to, and composable
+with, its own techniques -- we include a greedy first-fit version).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pauli import PauliString, PauliSum
+
+
+@dataclass
+class MeasurementGroup:
+    """Strings measurable in one shared basis."""
+
+    num_qubits: int
+    terms: list[tuple[complex, PauliString]] = field(default_factory=list)
+    # The witness accumulates the union of the members' non-identity ops.
+    witness: PauliString = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.witness is None:
+            self.witness = PauliString.identity(self.num_qubits)
+
+    def is_identity_group(self) -> bool:
+        return self.witness.is_identity()
+
+    def accepts(self, pauli: PauliString) -> bool:
+        """Qubit-wise compatibility with the current witness."""
+        overlap = self.witness.support_mask & pauli.support_mask
+        differs = (self.witness.x ^ pauli.x) | (self.witness.z ^ pauli.z)
+        return (overlap & differs) == 0
+
+    def add(self, coefficient: complex, pauli: PauliString) -> None:
+        if not self.accepts(pauli):
+            raise ValueError(f"{pauli} is not qubit-wise compatible with {self.witness}")
+        self.terms.append((coefficient, pauli))
+        self.witness = PauliString(
+            self.num_qubits, self.witness.x | pauli.x, self.witness.z | pauli.z
+        )
+
+
+def group_commuting_terms(hamiltonian: PauliSum) -> list[MeasurementGroup]:
+    """Greedy first-fit QWC grouping (largest-weight strings first)."""
+    groups: list[MeasurementGroup] = []
+    terms = sorted(hamiltonian, key=lambda item: -item[1].weight)
+    for coefficient, pauli in terms:
+        placed = False
+        for group in groups:
+            if group.accepts(pauli):
+                group.add(coefficient, pauli)
+                placed = True
+                break
+        if not placed:
+            group = MeasurementGroup(hamiltonian.num_qubits)
+            group.add(coefficient, pauli)
+            groups.append(group)
+    return groups

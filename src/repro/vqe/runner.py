@@ -1,0 +1,93 @@
+"""The VQE object: ansatz + Hamiltonian + optimizer + backend.
+
+Mirrors the paper's execution flow (Figure 3): the inner loop evaluates
+``E(theta)`` through one of the energy backends, the outer loop adjusts
+``theta`` with SLSQP, and the reported cost is the number of outer
+iterations to convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.ir import PauliProgram
+from repro.pauli import PauliSum
+from repro.sim.noise import DepolarizingNoiseModel
+from repro.vqe.energy import DensityMatrixEnergy, SamplingEnergy, StatevectorEnergy
+from repro.vqe.optimizer import OptimizationOutcome, minimize_energy
+
+
+@dataclass
+class VQEResult:
+    """Outcome of one VQE run."""
+
+    energy: float
+    parameters: np.ndarray
+    iterations: int
+    function_evaluations: int
+    success: bool
+    history: list[float]
+    backend: str
+
+    @property
+    def hartree_fock_energy(self) -> float:
+        """The first evaluated energy (the all-zero Hartree-Fock start)."""
+        return self.history[0] if self.history else float("nan")
+
+
+class VQE:
+    """Variational quantum eigensolver over a Pauli-string program."""
+
+    def __init__(
+        self,
+        program: PauliProgram,
+        hamiltonian: PauliSum,
+        *,
+        backend: str = "statevector",
+        noise: DepolarizingNoiseModel | None = None,
+        shots_per_group: int = 4096,
+        seed: int | None = 17,
+        method: str = "SLSQP",
+        max_iterations: int = 200,
+        tolerance: float = 1e-8,
+    ):
+        if backend == "statevector":
+            self.energy = StatevectorEnergy(program, hamiltonian)
+        elif backend == "density_matrix":
+            self.energy = DensityMatrixEnergy(program, hamiltonian, noise)
+        elif backend == "sampling":
+            self.energy = SamplingEnergy(
+                program, hamiltonian, shots_per_group=shots_per_group, seed=seed
+            )
+        else:
+            raise ValueError(
+                "backend must be 'statevector', 'density_matrix' or 'sampling'"
+            )
+        self.backend = backend
+        self.program = program
+        self.hamiltonian = hamiltonian
+        self.method = method
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+
+    def run(self, initial: Sequence[float] | None = None) -> VQEResult:
+        outcome: OptimizationOutcome = minimize_energy(
+            self.energy,
+            self.program.num_parameters,
+            method=self.method,
+            initial=initial,
+            max_iterations=self.max_iterations,
+            tolerance=self.tolerance,
+        )
+        return VQEResult(
+            energy=outcome.energy,
+            parameters=outcome.parameters,
+            iterations=outcome.iterations,
+            function_evaluations=outcome.function_evaluations,
+            success=outcome.success,
+            history=outcome.history,
+            backend=self.backend,
+        )

@@ -1,0 +1,106 @@
+"""Bond-length scans: the Figure 9 / Figure 10 workload driver.
+
+A scan runs VQE for one molecule across bond lengths under a given ansatz
+configuration (full UCCSD, compressed at some ratio, or random baseline)
+and records simulated energy, error against the exact ground state, and
+outer-loop iteration counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ansatz.uccsd import build_uccsd_program
+from repro.chem.hamiltonian import build_molecule_hamiltonian
+from repro.core.compression import compress_ansatz, random_ansatz
+from repro.core.ir import PauliProgram
+from repro.sim.exact import ground_state_energy
+from repro.sim.noise import DepolarizingNoiseModel
+from repro.vqe.runner import VQE
+
+
+@dataclass
+class ScanPoint:
+    """One (molecule, bond length, configuration) VQE result."""
+
+    molecule: str
+    bond_length: float
+    configuration: str
+    energy: float
+    exact_energy: float
+    hf_energy: float
+    iterations: int
+    num_parameters: int
+
+    @property
+    def error(self) -> float:
+        return self.energy - self.exact_energy
+
+    @property
+    def relative_error(self) -> float:
+        return abs(self.error / self.exact_energy)
+
+
+def _configure_program(
+    program: PauliProgram,
+    hamiltonian,
+    configuration: str,
+    seed: int,
+) -> tuple[PauliProgram, str]:
+    """Resolve a configuration label into a concrete program.
+
+    Labels: "full", "NN%" (compression ratio), "randNN%" (random subset).
+    """
+    label = configuration.strip().lower()
+    if label == "full":
+        return program, "full"
+    if label.startswith("rand") and label.endswith("%"):
+        ratio = float(label[4:-1]) / 100.0
+        return random_ansatz(program, ratio, seed=seed).program, label
+    if label.endswith("%"):
+        ratio = float(label[:-1]) / 100.0
+        return compress_ansatz(program, hamiltonian, ratio).program, label
+    raise ValueError(f"unknown configuration {configuration!r}")
+
+
+def bond_scan(
+    molecule: str,
+    bond_lengths: list[float],
+    configurations: list[str],
+    *,
+    backend: str = "statevector",
+    noise: DepolarizingNoiseModel | None = None,
+    max_iterations: int = 200,
+    seed: int = 23,
+) -> list[ScanPoint]:
+    """Run the VQE sweep the accuracy/convergence figures are built from."""
+    points: list[ScanPoint] = []
+    for bond_length in bond_lengths:
+        problem = build_molecule_hamiltonian(molecule, bond_length)
+        full_program = build_uccsd_program(problem).program
+        exact = ground_state_energy(problem.hamiltonian)
+        for configuration in configurations:
+            program, label = _configure_program(
+                full_program, problem.hamiltonian, configuration, seed
+            )
+            vqe = VQE(
+                program,
+                problem.hamiltonian,
+                backend=backend,
+                noise=noise,
+                max_iterations=max_iterations,
+            )
+            result = vqe.run()
+            points.append(
+                ScanPoint(
+                    molecule=molecule,
+                    bond_length=bond_length,
+                    configuration=label,
+                    energy=result.energy,
+                    exact_energy=exact,
+                    hf_energy=problem.hf_energy,
+                    iterations=result.iterations,
+                    num_parameters=program.num_parameters,
+                )
+            )
+    return points

@@ -1,0 +1,139 @@
+"""Tests for the experiment harness (repro.bench)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    TABLE1_PAPER,
+    convergence_speedups,
+    fig11_data,
+    format_table,
+    table1_rows,
+)
+from repro.bench.fig9 import default_bond_lengths, fig9_data, summarize
+from repro.bench.fig11 import mean_advantage
+from repro.bench.table2 import PAPER_RATIOS, TABLE2_PAPER, table2_row
+from repro.vqe.scan import ScanPoint
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1.23456789e-7]])
+        assert "e-07" in text
+
+
+class TestTable1Harness:
+    def test_h2_row_matches_paper(self):
+        rows = table1_rows(["H2"])
+        assert rows[0].as_tuple() == TABLE1_PAPER["H2"]
+
+    def test_paper_reference_complete(self):
+        assert len(TABLE1_PAPER) == 9
+
+
+class TestTable2Harness:
+    def test_paper_reference_shape(self):
+        assert set(PAPER_RATIOS) == {0.1, 0.3, 0.5, 0.7, 0.9}
+        for molecule, by_ratio in TABLE2_PAPER.items():
+            assert set(by_ratio) == set(PAPER_RATIOS), molecule
+
+    def test_h2_row_runs_and_matches_structure(self):
+        row = table2_row("H2", 0.5, include_grid=False)
+        assert row.original_cnots == 52  # paper's value for H2 @ 50%
+        assert row.sabre_grid_overhead is None
+        assert row.mtr_xtree_overhead % 3 == 0
+
+
+class TestFig9Harness:
+    def test_default_bond_lengths_bracket_equilibrium(self):
+        lengths = default_bond_lengths("LiH", count=3, spread=0.2)
+        assert len(lengths) == 3
+        assert lengths[0] < 1.595 < lengths[-1]
+
+    def test_single_point(self):
+        assert default_bond_lengths("H2", count=1) == [0.735]
+
+    def test_fig9_smallest_run(self):
+        points = fig9_data(
+            ["H2"],
+            configurations=["50%", "full"],
+            points_per_molecule=1,
+            max_iterations=50,
+        )
+        assert {p.configuration for p in points} == {"50%", "full"}
+        summaries = summarize(points)
+        full = next(s for s in summaries if s.configuration == "full")
+        assert full.mean_error < 1e-6
+
+    def test_speedup_computation(self):
+        def point(config, iters):
+            return ScanPoint(
+                molecule="X",
+                bond_length=1.0,
+                configuration=config,
+                energy=-1.0,
+                exact_energy=-1.0,
+                hf_energy=-0.9,
+                iterations=iters,
+                num_parameters=4,
+            )
+
+        points = [point("full", 10), point("50%", 5), point("10%", 2)]
+        speedups = convergence_speedups(points)
+        assert speedups["50%"] == pytest.approx(2.0)
+        assert speedups["10%"] == pytest.approx(5.0)
+
+
+class TestFig11Harness:
+    def test_sweep_structure(self):
+        comparisons = fig11_data(precisions=(0.3, 0.5), trials=200, seed=2)
+        assert [c.precision for c in comparisons] == [0.3, 0.5]
+        for comparison in comparisons:
+            assert 0.0 <= comparison.xtree_yield <= 1.0
+            assert 0.0 <= comparison.grid_yield <= 1.0
+
+    def test_mean_advantage_geometric(self):
+        from repro.bench.fig11 import YieldComparison
+
+        comparisons = [
+            YieldComparison(0.2, 0.4, 0.1),  # 4x
+            YieldComparison(0.4, 0.1, 0.1),  # 1x
+        ]
+        assert mean_advantage(comparisons) == pytest.approx(2.0)
+
+    def test_mean_advantage_empty(self):
+        from repro.bench.fig11 import YieldComparison
+
+        assert np.isnan(mean_advantage([YieldComparison(0.2, 0.0, 0.0)]))
+
+
+class TestAblationHarness:
+    def test_layout_ablation_runs(self):
+        from repro.bench.ablation import layout_ablation
+
+        results = layout_ablation("LiH", ratios=(0.5,))
+        assert len(results) == 1
+        assert results[0].hierarchical_swaps >= 0
+
+    def test_ordering_ablation_runs(self):
+        from repro.bench.ablation import ordering_ablation
+
+        results = ordering_ablation("LiH", ratios=(0.5,))
+        assert results[0].importance_ordered_swaps >= 0
+
+    def test_tree_size_sweep(self):
+        from repro.ansatz import build_uccsd_program
+        from repro.bench.ablation import tree_size_sweep
+        from repro.chem import build_molecule_hamiltonian
+
+        problem = build_molecule_hamiltonian("H2")
+        program = build_uccsd_program(problem).program
+        results = tree_size_sweep(program, sizes=(5, 17))
+        assert set(results) == {5, 17}

@@ -1,0 +1,170 @@
+"""Tests for the gate-cancellation pass and QASM round-tripping."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Circuit
+from repro.circuit.gates import (
+    Barrier,
+    CNOT,
+    CZ,
+    Gate,
+    H,
+    Measure,
+    RX,
+    RZ,
+    S,
+    SDG,
+    SWAP,
+    X,
+)
+from repro.circuit.qasm import from_qasm, to_qasm
+from repro.compiler.cancellation import cancel_gates, cancellation_savings
+from repro.sim import apply_circuit, basis_state
+
+
+def unitary_of(circuit: Circuit) -> np.ndarray:
+    dim = 1 << circuit.num_qubits
+    return np.column_stack(
+        [apply_circuit(circuit, basis_state(circuit.num_qubits, i)) for i in range(dim)]
+    )
+
+
+class TestCancellation:
+    def test_adjacent_h_pair_cancels(self):
+        circuit = Circuit(1, [H(0), H(0)])
+        assert len(cancel_gates(circuit)) == 0
+
+    def test_cnot_pair_cancels(self):
+        circuit = Circuit(2, [CNOT(0, 1), CNOT(0, 1)])
+        assert len(cancel_gates(circuit)) == 0
+
+    def test_reversed_cnot_does_not_cancel(self):
+        circuit = Circuit(2, [CNOT(0, 1), CNOT(1, 0)])
+        assert len(cancel_gates(circuit)) == 2
+
+    def test_swap_is_order_insensitive(self):
+        circuit = Circuit(2, [SWAP(0, 1), SWAP(1, 0)])
+        assert len(cancel_gates(circuit)) == 0
+
+    def test_blocker_prevents_cancellation(self):
+        circuit = Circuit(2, [H(0), CNOT(0, 1), H(0)])
+        assert len(cancel_gates(circuit)) == 3
+
+    def test_spectator_gate_does_not_block(self):
+        circuit = Circuit(2, [H(0), X(1), H(0)])
+        optimized = cancel_gates(circuit)
+        assert [g.name for g in optimized] == ["x"]
+
+    def test_rotation_merge(self):
+        circuit = Circuit(1, [RZ(0.3, 0), RZ(0.4, 0)])
+        optimized = cancel_gates(circuit)
+        assert len(optimized) == 1
+        assert optimized.gates[0].params[0] == pytest.approx(0.7)
+
+    def test_rotation_annihilation(self):
+        circuit = Circuit(1, [RX(0.9, 0), RX(-0.9, 0)])
+        assert len(cancel_gates(circuit)) == 0
+
+    def test_cascade(self):
+        # Inner pair cancels, exposing the outer pair.
+        circuit = Circuit(2, [CNOT(0, 1), H(0), H(0), CNOT(0, 1)])
+        assert len(cancel_gates(circuit)) == 0
+
+    def test_barrier_blocks(self):
+        circuit = Circuit(1, [H(0), Barrier(0), H(0)])
+        assert cancel_gates(circuit).counts()["h"] == 2
+
+    def test_savings_report(self):
+        circuit = Circuit(2, [H(0), H(0), CNOT(0, 1), CNOT(0, 1), X(1)])
+        savings = cancellation_savings(circuit)
+        assert savings["gates_before"] == 5
+        assert savings["gates_after"] == 1
+        assert savings["cnots_after"] == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 9), min_size=0, max_size=14))
+    def test_unitary_preserved(self, opcodes):
+        """Random circuits keep their unitary through cancellation."""
+        vocabulary = [
+            H(0), H(1), X(0), S(1), SDG(1),
+            CNOT(0, 1), CNOT(1, 0), SWAP(0, 1),
+            RZ(0.37, 0), RX(-1.1, 1),
+        ]
+        circuit = Circuit(2, [vocabulary[i] for i in opcodes])
+        optimized = cancel_gates(circuit)
+        np.testing.assert_allclose(
+            unitary_of(circuit), unitary_of(optimized), atol=1e-9
+        )
+
+    def test_consecutive_pauli_strings_save_cnots(self):
+        """The motivating case: consecutive UCCSD strings share ladders."""
+        from repro.ansatz import build_uccsd_program
+        from repro.chem import build_molecule_hamiltonian
+        from repro.compiler import synthesize_program_chain
+
+        problem = build_molecule_hamiltonian("LiH")
+        program = build_uccsd_program(problem).program
+        chain = synthesize_program_chain(program, [0.1] * program.num_parameters)
+        savings = cancellation_savings(chain)
+        assert savings["cnots_after"] < savings["cnots_before"]
+
+
+class TestQasm:
+    def test_export_contains_header_and_gates(self):
+        circuit = Circuit(2, [H(0), CNOT(0, 1), RZ(0.5, 1), Measure(0)])
+        text = to_qasm(circuit)
+        assert "OPENQASM 2.0" in text
+        assert "qreg q[2];" in text
+        assert "cx q[0],q[1];" in text
+        assert "measure q[0] -> c[0];" in text
+
+    def test_round_trip(self):
+        circuit = Circuit(
+            3,
+            [
+                H(0), X(1), S(2), SDG(0),
+                CNOT(0, 2), CZ(1, 2), SWAP(0, 1),
+                RX(0.25, 0), RZ(-1.75, 2), Barrier(0, 1, 2), Measure(2),
+            ],
+        )
+        recovered = from_qasm(to_qasm(circuit))
+        assert recovered.num_qubits == 3
+        assert [g.name for g in recovered] == [g.name for g in circuit]
+        assert recovered.gates[7].params[0] == pytest.approx(0.25)
+
+    def test_round_trip_preserves_unitary(self):
+        circuit = Circuit(2, [H(0), RX(0.7, 1), CNOT(0, 1), RZ(-0.2, 0)])
+        recovered = from_qasm(to_qasm(circuit))
+        np.testing.assert_allclose(
+            unitary_of(circuit), unitary_of(recovered), atol=1e-12
+        )
+
+    def test_parse_pi_expressions(self):
+        text = 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\nrz(pi/2) q[0];\n'
+        circuit = from_qasm(text)
+        assert circuit.gates[0].params[0] == pytest.approx(math.pi / 2)
+
+    def test_missing_qreg_rejected(self):
+        with pytest.raises(ValueError):
+            from_qasm("OPENQASM 2.0;\nh q[0];")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ValueError):
+            from_qasm("qreg q[1];\nu3(1,2,3) q[0];")
+
+    def test_malicious_angle_rejected(self):
+        with pytest.raises(ValueError):
+            from_qasm('qreg q[1];\nrz(__import__("os")) q[0];')
+
+    def test_compiled_circuit_exports(self):
+        """Full pipeline artifact is expressible in QASM."""
+        from repro.core import co_optimize
+
+        result = co_optimize("H2", ratio=0.5)
+        text = to_qasm(result.compiled.circuit)
+        assert from_qasm(text).num_qubits == 17

@@ -1,0 +1,119 @@
+"""Tests for the gate/circuit IR."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit
+from repro.circuit.gates import CNOT, CZ, SWAP, Barrier, Gate, H, Measure, RX, RY, RZ, S, SDG, X, Y, Z
+
+
+class TestGates:
+    def test_cnot_matrix_flips_target_when_control_set(self):
+        # Little-endian within the gate: (control, target) = bits (0, 1).
+        matrix = CNOT(0, 1).matrix()
+        state = np.zeros(4)
+        state[1] = 1.0  # |control=1, target=0>
+        result = matrix @ state
+        assert result[3] == 1.0  # |control=1, target=1>
+
+    def test_cnot_identity_when_control_clear(self):
+        matrix = CNOT(0, 1).matrix()
+        state = np.zeros(4)
+        state[2] = 1.0  # |control=0, target=1>
+        assert (matrix @ state)[2] == 1.0
+
+    def test_swap_matrix(self):
+        matrix = SWAP(0, 1).matrix()
+        state = np.zeros(4)
+        state[1] = 1.0
+        assert (matrix @ state)[2] == 1.0
+
+    @pytest.mark.parametrize("factory", [H, X, Y, Z, S, SDG])
+    def test_single_qubit_unitarity(self, factory):
+        matrix = factory(0).matrix()
+        np.testing.assert_allclose(matrix @ matrix.conj().T, np.eye(2), atol=1e-12)
+
+    @pytest.mark.parametrize("factory", [RX, RY, RZ])
+    def test_rotation_unitarity(self, factory):
+        matrix = factory(0.37, 0).matrix()
+        np.testing.assert_allclose(matrix @ matrix.conj().T, np.eye(2), atol=1e-12)
+
+    def test_rotation_inverse_negates_angle(self):
+        gate = RZ(0.5, 2)
+        assert gate.inverse().params == (-0.5,)
+
+    def test_s_inverse_is_sdg(self):
+        assert S(0).inverse().name == "sdg"
+        assert SDG(0).inverse().name == "s"
+
+    def test_self_inverse_gates(self):
+        for gate in [H(0), X(0), CNOT(0, 1), SWAP(0, 1), CZ(0, 1)]:
+            assert gate.inverse() == gate
+
+    def test_rz_matrix_value(self):
+        theta = 0.73
+        expected = np.diag([np.exp(-0.5j * theta), np.exp(0.5j * theta)])
+        np.testing.assert_allclose(RZ(theta, 0).matrix(), expected, atol=1e-12)
+
+    def test_remap(self):
+        assert CNOT(0, 1).remap({0: 5, 1: 3}).qubits == (5, 3)
+
+    def test_degenerate_two_qubit_rejected(self):
+        with pytest.raises(ValueError):
+            CNOT(1, 1)
+        with pytest.raises(ValueError):
+            SWAP(2, 2)
+
+
+class TestCircuit:
+    def test_append_validates_qubits(self):
+        circuit = Circuit(2)
+        with pytest.raises(ValueError):
+            circuit.append(H(5))
+
+    def test_counts_and_num_gates(self):
+        circuit = Circuit(3, [H(0), CNOT(0, 1), CNOT(1, 2), Barrier(0, 1, 2), Measure(0)])
+        assert circuit.num_gates() == 3
+        assert circuit.counts()["cx"] == 2
+
+    def test_num_cnots_counts_swaps_as_three(self):
+        circuit = Circuit(3, [CNOT(0, 1), SWAP(1, 2)])
+        assert circuit.num_cnots() == 4
+
+    def test_depth(self):
+        circuit = Circuit(3, [H(0), H(1), CNOT(0, 1), H(2)])
+        assert circuit.depth() == 2
+
+    def test_inverse_reverses_and_inverts(self):
+        circuit = Circuit(2, [H(0), RZ(0.3, 1), CNOT(0, 1)])
+        inverse = circuit.inverse()
+        assert [g.name for g in inverse] == ["cx", "rz", "h"]
+        assert inverse.gates[1].params == (-0.3,)
+
+    def test_compose(self):
+        a = Circuit(2, [H(0)])
+        b = Circuit(2, [CNOT(0, 1)])
+        assert [g.name for g in a.compose(b)] == ["h", "cx"]
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Circuit(2).compose(Circuit(3))
+
+    def test_remap(self):
+        circuit = Circuit(2, [CNOT(0, 1)]).remap({0: 2, 1: 0}, num_qubits=3)
+        assert circuit.gates[0].qubits == (2, 0)
+
+    def test_decompose_swaps(self):
+        circuit = Circuit(2, [SWAP(0, 1)]).decompose_swaps()
+        assert [g.name for g in circuit] == ["cx", "cx", "cx"]
+        assert circuit.gates[0].qubits == (0, 1)
+        assert circuit.gates[1].qubits == (1, 0)
+
+    def test_two_qubit_pairs(self):
+        circuit = Circuit(3, [H(0), CNOT(0, 2), SWAP(1, 2)])
+        assert circuit.two_qubit_pairs() == [(0, 2), (1, 2)]
+
+    def test_to_text_truncates(self):
+        circuit = Circuit(1, [H(0)] * 100)
+        text = circuit.to_text(max_gates=5)
+        assert "more" in text

@@ -1,0 +1,103 @@
+"""Density-matrix simulator and noise-channel tests."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit
+from repro.circuit.gates import CNOT, SWAP, H, RX, RZ, X
+from repro.pauli import PauliSum
+from repro.sim import DensityMatrixSimulator, DepolarizingNoiseModel, apply_circuit
+from repro.sim.noise import depolarizing_paulis
+
+
+class TestNoiseModel:
+    def test_pauli_set_sizes(self):
+        assert len(depolarizing_paulis(1)) == 3
+        assert len(depolarizing_paulis(2)) == 15
+
+    def test_invalid_arity(self):
+        with pytest.raises(ValueError):
+            depolarizing_paulis(3)
+
+    def test_error_rates_by_gate(self):
+        model = DepolarizingNoiseModel(two_qubit_error=1e-3, one_qubit_error=1e-5)
+        assert model.error_for("cx", 2) == 1e-3
+        assert model.error_for("h", 1) == 1e-5
+        assert model.error_for("rz", 1) == 1e-5
+        assert model.error_for("measure", 1) == 0.0
+
+    def test_trivial_check(self):
+        assert DepolarizingNoiseModel(0.0, 0.0).is_trivial()
+        assert not DepolarizingNoiseModel(1e-4).is_trivial()
+
+
+class TestNoiselessPropagation:
+    @pytest.mark.parametrize(
+        "circuit",
+        [
+            Circuit(2, [H(0), CNOT(0, 1)]),
+            Circuit(3, [X(0), SWAP(0, 2), RZ(0.4, 2), RX(0.9, 1)]),
+            Circuit(2, [RX(1.1, 0), RZ(-0.3, 1), CNOT(1, 0)]),
+        ],
+    )
+    def test_matches_statevector(self, circuit):
+        simulator = DensityMatrixSimulator(circuit.num_qubits)
+        rho = simulator.run(circuit)
+        state = apply_circuit(circuit)
+        np.testing.assert_allclose(rho, np.outer(state, state.conj()), atol=1e-10)
+
+    def test_trace_preserved(self):
+        simulator = DensityMatrixSimulator(2)
+        simulator.run(Circuit(2, [H(0), CNOT(0, 1)]))
+        assert simulator.trace() == pytest.approx(1.0)
+
+    def test_purity_one_without_noise(self):
+        simulator = DensityMatrixSimulator(2)
+        simulator.run(Circuit(2, [H(0), CNOT(0, 1)]))
+        assert simulator.purity() == pytest.approx(1.0)
+
+
+class TestDepolarizingChannel:
+    def test_purity_decreases_with_noise(self):
+        noise = DepolarizingNoiseModel(two_qubit_error=0.05)
+        simulator = DensityMatrixSimulator(2, noise)
+        simulator.run(Circuit(2, [H(0), CNOT(0, 1)]))
+        assert simulator.purity() < 1.0
+        assert simulator.trace() == pytest.approx(1.0)
+
+    def test_maximal_mixing_at_p_15_16(self):
+        # With the Pauli-mixture parameterization, rho + sum_P P rho P =
+        # 2^n Tr(rho) I, so p = 15/16 yields the maximally mixed state.
+        noise = DepolarizingNoiseModel(two_qubit_error=15.0 / 16.0)
+        simulator = DensityMatrixSimulator(2, noise)
+        simulator.run(Circuit(2, [CNOT(0, 1)]))
+        np.testing.assert_allclose(simulator.rho, np.eye(4) / 4.0, atol=1e-10)
+
+    def test_swap_decomposed_into_noisy_cnots(self):
+        noise = DepolarizingNoiseModel(two_qubit_error=0.01)
+        a = DensityMatrixSimulator(2, noise)
+        a.run(Circuit(2, [SWAP(0, 1)]))
+        b = DensityMatrixSimulator(2, noise)
+        b.run(Circuit(2, [CNOT(0, 1), CNOT(1, 0), CNOT(0, 1)]))
+        np.testing.assert_allclose(a.rho, b.rho, atol=1e-12)
+
+    def test_expectation_matches_matrix_path(self):
+        noise = DepolarizingNoiseModel(two_qubit_error=0.02)
+        simulator = DensityMatrixSimulator(2, noise)
+        simulator.run(Circuit(2, [H(0), CNOT(0, 1)]))
+        observable = PauliSum.from_label_dict({"ZZ": 1.0, "XX": 0.5})
+        direct = simulator.expectation(observable)
+        via_matrix = simulator.expectation_matrix(observable.to_matrix())
+        assert direct == pytest.approx(via_matrix, abs=1e-10)
+
+    def test_noise_weakens_correlations(self):
+        observable = PauliSum.from_label_dict({"ZZ": 1.0})
+        ideal = DensityMatrixSimulator(2)
+        ideal.run(Circuit(2, [H(0), CNOT(0, 1)]))
+        noisy = DensityMatrixSimulator(2, DepolarizingNoiseModel(0.1))
+        noisy.run(Circuit(2, [H(0), CNOT(0, 1)]))
+        assert noisy.expectation(observable) < ideal.expectation(observable)
+
+    def test_qubit_cap(self):
+        with pytest.raises(ValueError):
+            DensityMatrixSimulator(13)

@@ -1,0 +1,136 @@
+"""Tests for parameter-shift gradients, variable-degree trees and the
+end-to-end co-optimization pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.ansatz import build_uccsd_program
+from repro.chem import build_molecule_hamiltonian
+from repro.core import co_optimize
+from repro.hardware.xtree import xtree, xtree_with_degrees
+from repro.vqe.gradient import ParameterShiftGradient
+
+
+class TestParameterShiftGradient:
+    @pytest.fixture(scope="class")
+    def h2_setup(self):
+        problem = build_molecule_hamiltonian("H2")
+        program = build_uccsd_program(problem).program
+        return program, problem.hamiltonian
+
+    def test_matches_finite_differences(self, h2_setup):
+        program, hamiltonian = h2_setup
+        evaluator = ParameterShiftGradient(program, hamiltonian)
+        rng = np.random.default_rng(4)
+        theta = rng.normal(0, 0.3, program.num_parameters)
+        analytic = evaluator.gradient(theta)
+        step = 1e-6
+        for k in range(program.num_parameters):
+            plus, minus = theta.copy(), theta.copy()
+            plus[k] += step
+            minus[k] -= step
+            numeric = (evaluator.value(plus) - evaluator.value(minus)) / (2 * step)
+            assert analytic[k] == pytest.approx(numeric, abs=1e-5), k
+
+    def test_zero_gradient_at_optimum(self, h2_setup):
+        from repro.vqe import VQE
+
+        program, hamiltonian = h2_setup
+        result = VQE(program, hamiltonian).run()
+        gradient = ParameterShiftGradient(program, hamiltonian).gradient(
+            result.parameters
+        )
+        assert np.max(np.abs(gradient)) < 1e-4
+
+    def test_wrong_length_rejected(self, h2_setup):
+        program, hamiltonian = h2_setup
+        evaluator = ParameterShiftGradient(program, hamiltonian)
+        with pytest.raises(ValueError):
+            evaluator.gradient([0.0])
+
+    def test_lih_gradient_spot_check(self):
+        problem = build_molecule_hamiltonian("LiH")
+        program = build_uccsd_program(problem).program
+        evaluator = ParameterShiftGradient(program, problem.hamiltonian)
+        theta = np.full(program.num_parameters, 0.05)
+        analytic = evaluator.gradient(theta)
+        step = 1e-6
+        k = 3
+        plus, minus = theta.copy(), theta.copy()
+        plus[k] += step
+        minus[k] -= step
+        numeric = (evaluator.value(plus) - evaluator.value(minus)) / (2 * step)
+        assert analytic[k] == pytest.approx(numeric, abs=1e-5)
+
+
+class TestDegreeTrees:
+    def test_binary_tree_profile(self):
+        tree = xtree_with_degrees(7, [2, 2])
+        assert tree.is_tree()
+        assert tree.degree(0) == 2
+
+    def test_default_profile_matches_xtree(self):
+        standard = xtree(17)
+        custom = xtree_with_degrees(17, [4, 3])
+        assert sorted(custom.edges) == sorted(standard.edges)
+
+    def test_capacity_exhaustion(self):
+        # A root allowed one child and chain profile of one child each can
+        # host arbitrarily many qubits (a path); degree-0 is rejected.
+        with pytest.raises(ValueError):
+            xtree_with_degrees(5, [2, 0])
+
+    def test_path_profile(self):
+        path = xtree_with_degrees(6, [1, 1])
+        assert path.is_tree()
+        assert max(path.degree(q) for q in range(6)) == 2
+
+    def test_levels_respect_profile(self):
+        tree = xtree_with_degrees(13, [4, 2])
+        levels = tree.levels()
+        assert levels.count(1) == 4
+        assert levels.count(2) == 8
+
+    def test_merge_to_root_works_on_variants(self):
+        """Alternate trees remain valid compile targets (Section VII)."""
+        from repro.compiler import MergeToRootCompiler
+        from repro.compiler.verify import assert_equivalent
+
+        problem = build_molecule_hamiltonian("H2")
+        program = build_uccsd_program(problem).program
+        params = np.random.default_rng(0).normal(size=program.num_parameters)
+        tree = xtree_with_degrees(6, [2, 2])
+        compiled = MergeToRootCompiler(tree).compile(program, params)
+        assert_equivalent(program, params, compiled.circuit, compiled.final_layout)
+
+
+class TestPipeline:
+    def test_co_optimize_h2(self):
+        result = co_optimize("H2", ratio=0.5)
+        assert result.compressed.num_parameters == 2
+        assert result.device.name == "XTree17Q"
+        assert result.compiled.overhead_cnots == 3 * result.compiled.num_swaps
+        assert "H2" in result.summary()
+
+    def test_co_optimize_accepts_problem_object(self):
+        problem = build_molecule_hamiltonian("H2", 0.7)
+        result = co_optimize(problem, ratio=1.0)
+        assert result.problem is problem
+
+    def test_co_optimize_custom_device(self):
+        tree = xtree(8)
+        result = co_optimize("H2", ratio=0.3, device=tree)
+        assert result.device is tree
+        assert result.compiled.circuit.num_qubits == 8
+
+    def test_compiled_circuit_is_semantically_correct(self):
+        from repro.compiler.verify import assert_equivalent
+
+        result = co_optimize("H2", ratio=1.0, device=xtree(5))
+        program = result.compressed.program
+        assert_equivalent(
+            program,
+            [0.0] * program.num_parameters,
+            result.compiled.circuit,
+            result.compiled.final_layout,
+        )

@@ -1,0 +1,137 @@
+"""Tests for weighted Pauli sums."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pauli import PauliString, PauliSum
+
+
+def labels(num_qubits: int):
+    return st.text(alphabet="IXYZ", min_size=num_qubits, max_size=num_qubits)
+
+
+def random_sum(draw_labels, draw_coeffs):
+    terms = {}
+    for label, coeff in zip(draw_labels, draw_coeffs):
+        terms[label] = terms.get(label, 0.0) + coeff
+    return PauliSum.from_label_dict(terms)
+
+
+sums_2q = st.builds(
+    random_sum,
+    st.lists(labels(2), min_size=1, max_size=5),
+    st.lists(
+        st.complex_numbers(
+            min_magnitude=0.1, max_magnitude=3.0, allow_nan=False, allow_infinity=False
+        ),
+        min_size=5,
+        max_size=5,
+    ),
+)
+
+
+class TestConstruction:
+    def test_from_label_dict(self):
+        sum_ = PauliSum.from_label_dict({"XX": 1.0, "ZZ": -0.5})
+        assert len(sum_) == 2
+        assert sum_.coefficient(PauliString.from_label("ZZ")) == -0.5
+
+    def test_add_term_merges_duplicates(self):
+        sum_ = PauliSum.zero(2)
+        pauli = PauliString.from_label("XY")
+        sum_.add_term(0.5, pauli)
+        sum_.add_term(0.25, pauli)
+        assert sum_.coefficient(pauli) == 0.75
+        assert len(sum_) == 1
+
+    def test_cancellation_removes_term(self):
+        sum_ = PauliSum.zero(2)
+        pauli = PauliString.from_label("XY")
+        sum_.add_term(0.5, pauli)
+        sum_.add_term(-0.5, pauli)
+        assert len(sum_) == 0
+
+    def test_qubit_mismatch_rejected(self):
+        sum_ = PauliSum.zero(2)
+        with pytest.raises(ValueError):
+            sum_.add_term(1.0, PauliString.from_label("XYZ"))
+
+    def test_chop(self):
+        sum_ = PauliSum.from_label_dict({"XX": 1e-15, "ZZ": 1.0})
+        assert len(sum_.chop()) == 1
+
+    def test_iteration_is_deterministic(self):
+        sum_ = PauliSum.from_label_dict({"ZZ": 1.0, "XX": 2.0, "YI": 3.0})
+        assert [p.label() for _, p in sum_] == [p.label() for _, p in sum_]
+
+
+class TestAlgebra:
+    def test_addition(self):
+        a = PauliSum.from_label_dict({"XX": 1.0})
+        b = PauliSum.from_label_dict({"XX": 1.0, "ZZ": 2.0})
+        total = a + b
+        assert total.coefficient(PauliString.from_label("XX")) == 2.0
+        assert total.coefficient(PauliString.from_label("ZZ")) == 2.0
+
+    def test_scalar_multiplication(self):
+        a = PauliSum.from_label_dict({"XY": 2.0})
+        assert (a * 0.5).coefficient(PauliString.from_label("XY")) == 1.0
+        assert (0.5 * a).coefficient(PauliString.from_label("XY")) == 1.0
+
+    def test_compose_single_qubit(self):
+        x = PauliSum.from_label_dict({"X": 1.0})
+        y = PauliSum.from_label_dict({"Y": 1.0})
+        product = x @ y
+        assert product.coefficient(PauliString.from_label("Z")) == 1j
+
+    def test_dagger(self):
+        a = PauliSum.from_label_dict({"XY": 1.0 + 2.0j})
+        assert a.dagger().coefficient(PauliString.from_label("XY")) == 1.0 - 2.0j
+
+    def test_hermitian_check(self):
+        assert PauliSum.from_label_dict({"XX": 1.0}).is_hermitian()
+        assert not PauliSum.from_label_dict({"XX": 1.0j}).is_hermitian()
+
+    def test_commutator_of_commuting_terms_is_zero(self):
+        a = PauliSum.from_label_dict({"XX": 1.0})
+        b = PauliSum.from_label_dict({"ZZ": 1.0})
+        assert len(a.commutator(b)) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(sums_2q, sums_2q)
+    def test_compose_matches_dense(self, a, b):
+        np.testing.assert_allclose(
+            (a @ b).to_matrix(), a.to_matrix() @ b.to_matrix(), atol=1e-9
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(sums_2q, sums_2q)
+    def test_addition_matches_dense(self, a, b):
+        np.testing.assert_allclose(
+            (a + b).to_matrix(), a.to_matrix() + b.to_matrix(), atol=1e-9
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(sums_2q)
+    def test_dagger_matches_dense(self, a):
+        np.testing.assert_allclose(
+            a.dagger().to_matrix(), a.to_matrix().conj().T, atol=1e-9
+        )
+
+
+class TestNumerics:
+    def test_norm1(self):
+        sum_ = PauliSum.from_label_dict({"XX": 3.0, "ZZ": -4.0})
+        assert sum_.norm1() == 7.0
+
+    def test_equality(self):
+        a = PauliSum.from_label_dict({"XX": 1.0, "ZZ": 2.0})
+        b = PauliSum.from_label_dict({"ZZ": 2.0, "XX": 1.0})
+        assert a == b
+
+    def test_inequality(self):
+        a = PauliSum.from_label_dict({"XX": 1.0})
+        b = PauliSum.from_label_dict({"XX": 1.5})
+        assert a != b

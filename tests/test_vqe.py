@@ -1,0 +1,174 @@
+"""VQE driver tests: backends, optimizer accounting, scans, measurement."""
+
+import numpy as np
+import pytest
+
+from repro.ansatz import build_uccsd_program
+from repro.chem import build_molecule_hamiltonian
+from repro.pauli import PauliString, PauliSum
+from repro.sim import DepolarizingNoiseModel, ground_state_energy
+from repro.vqe import (
+    VQE,
+    MeasurementGroup,
+    SamplingEnergy,
+    StatevectorEnergy,
+    bond_scan,
+    group_commuting_terms,
+    minimize_energy,
+)
+
+
+@pytest.fixture(scope="module")
+def h2():
+    problem = build_molecule_hamiltonian("H2")
+    program = build_uccsd_program(problem).program
+    return problem, program
+
+
+class TestStatevectorEnergy:
+    def test_zero_parameters_give_hf_energy(self, h2):
+        problem, program = h2
+        energy = StatevectorEnergy(program, problem.hamiltonian)
+        assert energy(np.zeros(program.num_parameters)) == pytest.approx(
+            problem.hf_energy, abs=1e-8
+        )
+
+    def test_evaluation_counter(self, h2):
+        problem, program = h2
+        energy = StatevectorEnergy(program, problem.hamiltonian)
+        energy(np.zeros(3))
+        energy(np.zeros(3))
+        assert energy.evaluations == 2
+
+    def test_size_mismatch(self, h2):
+        problem, program = h2
+        other = PauliSum.from_label_dict({"XX": 1.0})
+        with pytest.raises(ValueError):
+            StatevectorEnergy(program, other)
+
+
+class TestVQEBackends:
+    def test_statevector_reaches_fci(self, h2):
+        problem, program = h2
+        exact = ground_state_energy(problem.hamiltonian)
+        result = VQE(program, problem.hamiltonian).run()
+        assert result.energy == pytest.approx(exact, abs=1e-7)
+        assert result.iterations >= 1
+        assert result.hartree_fock_energy == pytest.approx(problem.hf_energy, abs=1e-8)
+
+    def test_density_matrix_noiseless_agrees(self, h2):
+        problem, program = h2
+        noiseless = VQE(
+            program,
+            problem.hamiltonian,
+            backend="density_matrix",
+            noise=DepolarizingNoiseModel(two_qubit_error=0.0),
+            max_iterations=40,
+        ).run()
+        statevector = VQE(program, problem.hamiltonian, max_iterations=40).run()
+        assert noiseless.energy == pytest.approx(statevector.energy, abs=1e-6)
+
+    def test_noise_raises_energy(self, h2):
+        """Depolarizing noise pushes the minimum above the exact value."""
+        problem, program = h2
+        exact = ground_state_energy(problem.hamiltonian)
+        noisy = VQE(
+            program,
+            problem.hamiltonian,
+            backend="density_matrix",
+            noise=DepolarizingNoiseModel(two_qubit_error=5e-3),
+            max_iterations=40,
+        ).run()
+        assert noisy.energy > exact
+
+    def test_sampling_backend_close_to_exact(self, h2):
+        problem, program = h2
+        exact_vqe = VQE(program, problem.hamiltonian).run()
+        sampler = SamplingEnergy(
+            program, problem.hamiltonian, shots_per_group=20000, seed=5
+        )
+        sampled = sampler(exact_vqe.parameters)
+        assert sampled == pytest.approx(exact_vqe.energy, abs=0.01)
+
+    def test_unknown_backend(self, h2):
+        problem, program = h2
+        with pytest.raises(ValueError):
+            VQE(program, problem.hamiltonian, backend="tensor_network")
+
+
+class TestOptimizer:
+    def test_quadratic_minimum(self):
+        outcome = minimize_energy(lambda x: float((x[0] - 2.0) ** 2), 1)
+        assert outcome.parameters[0] == pytest.approx(2.0, abs=1e-4)
+        assert outcome.iterations >= 1
+        assert outcome.history[0] == pytest.approx(4.0)
+
+    def test_zero_parameters(self):
+        outcome = minimize_energy(lambda x: 1.5, 0)
+        assert outcome.energy == 1.5
+        assert outcome.iterations == 0
+
+    def test_bad_method(self):
+        with pytest.raises(ValueError):
+            minimize_energy(lambda x: 0.0, 1, method="ADAM")
+
+    def test_bad_initial_length(self):
+        with pytest.raises(ValueError):
+            minimize_energy(lambda x: 0.0, 2, initial=[0.0])
+
+    def test_cobyla_path(self):
+        outcome = minimize_energy(
+            lambda x: float((x[0] + 1.0) ** 2), 1, method="COBYLA"
+        )
+        assert outcome.parameters[0] == pytest.approx(-1.0, abs=1e-2)
+
+
+class TestMeasurementGrouping:
+    def test_compatible_strings_grouped(self):
+        h = PauliSum.from_label_dict({"XI": 1.0, "IX": 1.0, "XX": 1.0})
+        groups = group_commuting_terms(h)
+        assert len(groups) == 1
+
+    def test_conflicting_strings_split(self):
+        h = PauliSum.from_label_dict({"XX": 1.0, "ZZ": 1.0})
+        groups = group_commuting_terms(h)
+        assert len(groups) == 2
+
+    def test_group_witness_accumulates(self):
+        group = MeasurementGroup(2)
+        group.add(1.0, PauliString.from_label("XI"))
+        group.add(1.0, PauliString.from_label("IZ"))
+        assert group.witness.label() == "XZ"
+
+    def test_incompatible_add_rejected(self):
+        group = MeasurementGroup(2)
+        group.add(1.0, PauliString.from_label("XI"))
+        with pytest.raises(ValueError):
+            group.add(1.0, PauliString.from_label("ZI"))
+
+    def test_grouping_covers_all_terms(self):
+        problem = build_molecule_hamiltonian("LiH")
+        groups = group_commuting_terms(problem.hamiltonian)
+        total = sum(len(g.terms) for g in groups)
+        assert total == len(problem.hamiltonian)
+        assert len(groups) < len(problem.hamiltonian)  # grouping actually helps
+
+
+class TestBondScan:
+    def test_scan_produces_expected_grid(self):
+        points = bond_scan("H2", [0.6, 0.735], ["full", "50%"], max_iterations=60)
+        assert len(points) == 4
+        labels = {(p.bond_length, p.configuration) for p in points}
+        assert (0.735, "full") in labels
+
+    def test_scan_errors_small_for_full_ansatz(self):
+        points = bond_scan("H2", [0.735], ["full"], max_iterations=60)
+        assert abs(points[0].error) < 1e-6
+
+    def test_random_configuration_parses(self):
+        points = bond_scan("H2", [0.735], ["rand50%"], max_iterations=60, seed=2)
+        assert points[0].num_parameters == 2
+
+    def test_unknown_configuration(self):
+        with pytest.raises(ValueError):
+            bond_scan("H2", [0.7], ["half"])
