@@ -1,47 +1,57 @@
 """The full Pauli-string-centric co-optimization flow on LiH (Figure 1).
 
-Walks through all three contributions on one molecule:
+Walks through all three contributions on one molecule, phrased entirely
+against the composable ``Pipeline`` API:
 
-1. ansatz compression (parameter importance, several ratios);
-2. the X-Tree target architecture vs. the Grid17Q baseline;
+1. ansatz compression (parameter importance, several ratios) as a
+   ``run_batch`` sweep with an appended ``Energy`` stage;
+2. the X-Tree target architecture vs. the Grid17Q baseline, resolved by
+   name through the device registry;
 3. hierarchical initial layout + Merge-to-Root compilation, compared
-   against chain synthesis + SABRE.
+   against chain synthesis + SABRE by swapping the compiler name.
 
 Run:  python examples/lih_co_optimization.py
 """
 
-from repro.ansatz import build_uccsd_program
-from repro.chem import build_molecule_hamiltonian
-from repro.compiler import mapping_overhead
-from repro.core import co_optimize, compress_ansatz, random_ansatz
-from repro.hardware import grid17q, xtree
-from repro.sim import ground_state_energy
+import json
+
+from repro import Pipeline, PipelineConfig, run_batch
+from repro.core import BuildAnsatz, BuildProblem, Energy, random_ansatz
 from repro.vqe import VQE
 
 
 def main() -> None:
-    problem = build_molecule_hamiltonian("LiH")
-    ansatz = build_uccsd_program(problem)
-    exact = ground_state_energy(problem.hamiltonian)
+    # A truncated pipeline stages just the problem/ansatz for the header.
+    staged = Pipeline(
+        PipelineConfig(molecule="LiH"), passes=[BuildProblem(), BuildAnsatz()]
+    ).run()
+    problem, ansatz = staged.problem, staged.full_ansatz
     print(f"LiH @ {problem.molecule.bond_length} A: {problem.num_qubits} qubits, "
           f"{len(problem.hamiltonian)} Hamiltonian terms, "
           f"{ansatz.num_parameters} UCCSD parameters, "
           f"{ansatz.num_pauli_strings} Pauli strings")
-    print(f"exact ground state: {exact:.6f} Ha,  Hartree-Fock: {problem.hf_energy:.6f} Ha\n")
 
     # ------------------------------------------------------------------
-    # Contribution 1: ansatz compression.
+    # Contribution 1: ansatz compression (batch sweep over ratios).
     # ------------------------------------------------------------------
-    print("== ansatz compression ==")
+    print("\n== ansatz compression ==")
     print(f"{'config':>9} {'params':>7} {'CNOTs':>6} {'E (Ha)':>12} {'E-E0 (mHa)':>11} {'iters':>6}")
-    for ratio in (0.1, 0.3, 0.5, 0.7, 0.9, 1.0):
-        compressed = compress_ansatz(ansatz.program, problem.hamiltonian, ratio)
-        outcome = VQE(compressed.program, problem.hamiltonian).run()
+    ratios = (0.1, 0.3, 0.5, 0.7, 0.9, 1.0)
+    results = run_batch(
+        [PipelineConfig(molecule="LiH", ratio=ratio) for ratio in ratios],
+        pipeline_factory=lambda config: Pipeline(config).appending(Energy()),
+    )
+    for ratio, result in zip(ratios, results):
+        m = result.metrics
         print(
-            f"{ratio:9.0%} {compressed.num_parameters:7d} "
-            f"{compressed.program.cnot_count():6d} {outcome.energy:12.6f} "
-            f"{(outcome.energy - exact) * 1e3:11.3f} {outcome.iterations:6d}"
+            f"{ratio:9.0%} {m['num_parameters']:7d} {m['original_cnots']:6d} "
+            f"{m['energy']:12.6f} {m['energy_error'] * 1e3:11.3f} "
+            f"{m['iterations']:6d}"
         )
+    exact = results[0].metrics["exact_energy"]
+    print(f"exact ground state: {exact:.6f} Ha,  "
+          f"Hartree-Fock: {problem.hf_energy:.6f} Ha")
+
     randomized = random_ansatz(ansatz.program, 0.5, seed=1)
     outcome = VQE(randomized.program, problem.hamiltonian).run()
     print(
@@ -51,26 +61,32 @@ def main() -> None:
     )
 
     # ------------------------------------------------------------------
-    # Contributions 2 + 3: architecture and compiler.
+    # Contributions 2 + 3: swap device and compiler by registry name.
     # ------------------------------------------------------------------
     print("\n== compilation to hardware (50% ansatz) ==")
-    compressed = compress_ansatz(ansatz.program, problem.hamiltonian, 0.5)
-    reports = mapping_overhead(compressed.program, xtree(17), grid17q())
-    for key, report in reports.items():
+    flows = [("mtr", "xtree17"), ("sabre", "xtree17"), ("sabre", "grid17")]
+    for compiler, device in flows:
+        result = Pipeline(
+            PipelineConfig(molecule="LiH", ratio=0.5, compiler=compiler, device=device)
+        ).run()
+        m = result.metrics
+        overhead_ratio = m["overhead_cnots"] / m["original_cnots"]
         print(
-            f"{report.flow:>6} on {report.device:<9}: "
-            f"{report.original_cnots} original CNOTs "
-            f"+ {report.overhead_cnots} overhead ({report.num_swaps} swaps, "
-            f"{report.overhead_ratio:.1%})"
+            f"{compiler:>6} on {m['device']:<9}: "
+            f"{m['original_cnots']} original CNOTs "
+            f"+ {m['overhead_cnots']} overhead ({m['num_swaps']} swaps, "
+            f"{overhead_ratio:.1%})"
         )
 
     # ------------------------------------------------------------------
-    # One-call pipeline.
+    # One-call pipeline + serializable record.
     # ------------------------------------------------------------------
-    print("\n== one-call co_optimize ==")
-    result = co_optimize("LiH", ratio=0.5)
+    print("\n== default pipeline ==")
+    result = Pipeline(PipelineConfig(molecule="LiH", ratio=0.5)).run()
     print(result.summary())
     print(f"initial layout (logical -> physical): {result.compiled.initial_layout}")
+    print("\nJSON record (diff-able across runs):")
+    print(json.dumps(result.to_dict()["metrics"], indent=2, sort_keys=True))
 
 
 if __name__ == "__main__":

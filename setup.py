@@ -1,3 +1,32 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-coopt-chemistry",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Software-Hardware Co-Optimization for "
+        "Computational Chemistry on Superconducting Quantum Processors' "
+        "(ISCA 2021): ansatz compression, X-Tree architectures, and "
+        "Merge-to-Root compilation behind a composable Pipeline API"
+    ),
+    long_description=open("README.md").read(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy",
+        "scipy",
+        "networkx",
+    ],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark"],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.11",
+        "Topic :: Scientific/Engineering :: Physics",
+    ],
+)

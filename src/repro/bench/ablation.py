@@ -6,6 +6,10 @@ Three knobs the paper fixes are swept here:
 * **initial layout** for Merge-to-Root (hierarchical vs trivial);
 * **swap lookahead** in Merge-to-Root (paper's future-occurrence rule vs
   arbitrary choice).
+
+Each sweep is phrased against the composable pipeline API: a variant is
+one :class:`~repro.core.passes.PipelineConfig` change (or one swapped
+stage), with devices and compilers resolved through the registries.
 """
 
 from __future__ import annotations
@@ -14,13 +18,18 @@ from dataclasses import dataclass
 
 from repro.ansatz.uccsd import build_uccsd_program
 from repro.chem.hamiltonian import build_molecule_hamiltonian
-from repro.compiler.layout import hierarchical_initial_layout, trivial_layout
-from repro.compiler.merge_to_root import MergeToRootCompiler
+from repro.compiler.registry import get_compiler
 from repro.core.compression import compress_ansatz
 from repro.core.ir import PauliProgram
-from repro.hardware.xtree import xtree
-from repro.sim.exact import ground_state_energy
-from repro.vqe.runner import VQE
+from repro.core.passes import (
+    BuildAnsatz,
+    BuildProblem,
+    Compress,
+    Energy,
+    PipelineConfig,
+)
+from repro.core.pipeline import Pipeline
+from repro.hardware.registry import get_device
 
 
 @dataclass
@@ -39,25 +48,30 @@ def decay_base_ablation(
     ratio: float = 0.5,
     max_iterations: int = 200,
 ) -> list[DecayBaseResult]:
-    """Energy error of the compressed ansatz for different decay bases."""
-    problem = build_molecule_hamiltonian(molecule)
-    program = build_uccsd_program(problem).program
-    exact = ground_state_energy(problem.hamiltonian)
+    """Energy error of the compressed ansatz for different decay bases.
+
+    Uses a compile-free pipeline (no layout/route stages): problem ->
+    ansatz -> compress -> VQE.
+    """
     results = []
     for base in bases:
-        compressed = compress_ansatz(
-            program, problem.hamiltonian, ratio, decay_base=base
+        pipeline = Pipeline(
+            PipelineConfig(molecule=molecule, ratio=ratio, decay_base=base),
+            passes=[
+                BuildProblem(),
+                BuildAnsatz(),
+                Compress(),
+                Energy(max_iterations=max_iterations),
+            ],
         )
-        outcome = VQE(
-            compressed.program, problem.hamiltonian, max_iterations=max_iterations
-        ).run()
+        outcome = pipeline.run()
         results.append(
             DecayBaseResult(
                 molecule=molecule,
                 decay_base=base,
                 ratio=ratio,
-                energy_error=abs(outcome.energy - exact),
-                iterations=outcome.iterations,
+                energy_error=abs(outcome.metrics["energy_error"]),
+                iterations=outcome.metrics["iterations"],
             )
         )
     return results
@@ -78,22 +92,17 @@ class LayoutAblationResult:
 
 
 def layout_ablation(
-    molecule: str, ratios: tuple[float, ...] = (0.3, 0.5, 0.9)
+    molecule: str,
+    ratios: tuple[float, ...] = (0.3, 0.5, 0.9),
+    *,
+    device: str = "xtree17",
 ) -> list[LayoutAblationResult]:
     """MtR swap counts under hierarchical vs trivial initial layout."""
-    problem = build_molecule_hamiltonian(molecule)
-    program = build_uccsd_program(problem).program
-    device = xtree(17)
-    compiler = MergeToRootCompiler(device)
     results = []
     for ratio in ratios:
-        compressed = compress_ansatz(program, problem.hamiltonian, ratio).program
-        hierarchical = compiler.compile(
-            compressed, initial_layout=hierarchical_initial_layout(compressed, device)
-        )
-        trivial = compiler.compile(
-            compressed, initial_layout=trivial_layout(compressed, device)
-        )
+        base = PipelineConfig(molecule=molecule, ratio=ratio, device=device)
+        hierarchical = Pipeline(base).run()
+        trivial = Pipeline(base.replace(layout="trivial")).run()
         results.append(
             LayoutAblationResult(
                 molecule=molecule,
@@ -114,7 +123,10 @@ class OrderingAblationResult:
 
 
 def ordering_ablation(
-    molecule: str, ratios: tuple[float, ...] = (0.3, 0.5, 0.9)
+    molecule: str,
+    ratios: tuple[float, ...] = (0.3, 0.5, 0.9),
+    *,
+    device: str = "xtree17",
 ) -> list[OrderingAblationResult]:
     """Does importance-*ordering* (not just selection) reduce overhead?
 
@@ -124,15 +136,15 @@ def ordering_ablation(
     """
     problem = build_molecule_hamiltonian(molecule)
     program = build_uccsd_program(problem).program
-    device = xtree(17)
-    compiler = MergeToRootCompiler(device)
+    graph = get_device(device)
+    compiler = get_compiler("mtr")
     results = []
     for ratio in ratios:
         compressed = compress_ansatz(program, problem.hamiltonian, ratio)
         importance_ordered = compressed.program
         original_order = program.restricted_to(sorted(compressed.kept_parameters))
-        a = compiler.compile(importance_ordered)
-        b = compiler.compile(original_order)
+        a = compiler.compile(importance_ordered, graph)
+        b = compiler.compile(original_order, graph)
         results.append(
             OrderingAblationResult(
                 molecule=molecule,
@@ -146,9 +158,9 @@ def ordering_ablation(
 
 def tree_size_sweep(program: PauliProgram, sizes: tuple[int, ...] = (17, 26, 33)):
     """MtR overhead as the X-Tree grows (architecture-scaling ablation)."""
+    compiler = get_compiler("mtr")
     results = {}
     for size in sizes:
-        device = xtree(size)
-        compiled = MergeToRootCompiler(device).compile(program)
+        compiled = compiler.compile(program, get_device(f"xtree{size}"))
         results[size] = compiled.num_swaps
     return results

@@ -9,8 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.hardware.grid import grid17q
-from repro.hardware.xtree import xtree
+from repro.hardware.registry import get_device
 from repro.hardware.yield_model import yield_sweep
 
 PAPER_PRECISIONS = (0.2, 0.3, 0.4, 0.5, 0.6)
@@ -34,9 +33,15 @@ def fig11_data(
     *,
     trials: int = 2000,
     seed: int = 7,
+    tree_device: str = "xtree17",
+    grid_device: str = "grid17",
 ) -> list[YieldComparison]:
-    xtree_estimates = yield_sweep(xtree(17), list(precisions), trials=trials, seed=seed)
-    grid_estimates = yield_sweep(grid17q(), list(precisions), trials=trials, seed=seed)
+    xtree_estimates = yield_sweep(
+        get_device(tree_device), list(precisions), trials=trials, seed=seed
+    )
+    grid_estimates = yield_sweep(
+        get_device(grid_device), list(precisions), trials=trials, seed=seed
+    )
     return [
         YieldComparison(
             precision=x.precision, xtree_yield=x.yield_rate, grid_yield=g.yield_rate

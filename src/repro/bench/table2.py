@@ -8,8 +8,7 @@ from repro.ansatz.uccsd import build_uccsd_program
 from repro.chem.hamiltonian import build_molecule_hamiltonian
 from repro.compiler.metrics import mapping_overhead
 from repro.core.compression import compress_ansatz
-from repro.hardware.grid import grid17q
-from repro.hardware.xtree import xtree
+from repro.hardware.registry import get_device
 
 #: The compression ratios tabulated by the paper.
 PAPER_RATIOS = (0.1, 0.3, 0.5, 0.7, 0.9)
@@ -83,14 +82,16 @@ def table2_row(
     *,
     include_grid: bool = True,
     sabre_seed: int = 11,
+    tree_device: str = "xtree17",
+    grid_device: str = "grid17",
 ) -> Table2Row:
     problem = build_molecule_hamiltonian(molecule)
     program = build_uccsd_program(problem).program
     compressed = compress_ansatz(program, problem.hamiltonian, ratio)
     reports = mapping_overhead(
         compressed.program,
-        xtree(17),
-        grid17q() if include_grid else None,
+        get_device(tree_device),
+        get_device(grid_device) if include_grid else None,
         sabre_seed=sabre_seed,
     )
     grid_overhead = (

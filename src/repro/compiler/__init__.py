@@ -14,6 +14,11 @@ Two flows are provided, mirroring the paper's comparison:
 :mod:`repro.compiler.verify` checks compiled circuits against the
 Pauli-evolution reference semantics, and :mod:`repro.compiler.metrics`
 computes the paper's overhead numbers.
+
+Both flows are exposed behind the string-keyed registry in
+:mod:`repro.compiler.registry` (``get_compiler("mtr")`` /
+``get_compiler("sabre")``) with one uniform ``compile(program, device)``
+entry point, which is how the pipeline's ``Route`` stage selects a flow.
 """
 
 from repro.compiler.synthesis import (
@@ -31,8 +36,22 @@ from repro.compiler.verify import (
     assert_equivalent,
     states_match,
 )
+from repro.compiler.registry import (
+    CompilerAdapter,
+    MergeToRootAdapter,
+    SabreAdapter,
+    get_compiler,
+    list_compilers,
+    register_compiler,
+)
 
 __all__ = [
+    "CompilerAdapter",
+    "MergeToRootAdapter",
+    "SabreAdapter",
+    "get_compiler",
+    "list_compilers",
+    "register_compiler",
     "synthesize_pauli_chain",
     "synthesize_program_chain",
     "hartree_fock_circuit",

@@ -1,0 +1,135 @@
+"""String-keyed compiler registry.
+
+The two compilation flows the paper compares (Merge-to-Root and chain
+synthesis + SABRE) expose very different call shapes; the registry wraps
+each in a :class:`CompilerAdapter` with one uniform entry point so the
+pipeline's ``Route`` stage — and any benchmark — can swap flows by name:
+
+    get_compiler("mtr").compile(program, device)
+    get_compiler("sabre").compile(program, device, seed=11)
+
+Both adapters return an object satisfying the compiled-result protocol
+(``circuit``, ``initial_layout``, ``final_layout``, ``num_swaps``,
+``overhead_cnots``, ``total_cnots``, ``device``): a
+:class:`~repro.compiler.merge_to_root.CompiledProgram` for MtR and a
+:class:`~repro.compiler.sabre.SabreResult` for SABRE.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.compiler.merge_to_root import MergeToRootCompiler
+from repro.compiler.sabre import SabreRouter
+from repro.compiler.synthesis import synthesize_program_chain
+from repro.core.ir import PauliProgram
+from repro.hardware.coupling import CouplingGraph
+
+
+class CompilerAdapter:
+    """Uniform interface over the compilation flows."""
+
+    name: str = "adapter"
+
+    #: Layout scheme the pipeline's ``InitialLayout`` stage applies when
+    #: the config says "auto".  SABRE-style mappers that refine their own
+    #: initial mapping should keep "none" so baseline numbers follow the
+    #: paper's methodology; externally-laid-out flows override this.
+    default_layout: str = "none"
+
+    def compile(
+        self,
+        program: PauliProgram,
+        device: CouplingGraph,
+        *,
+        parameters: Sequence[float] | None = None,
+        initial_layout: dict[int, int] | None = None,
+        seed: int = 11,
+    ):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class MergeToRootAdapter(CompilerAdapter):
+    """The co-designed flow: adaptive synthesis-and-routing (Algorithm 3)."""
+
+    name = "mtr"
+    default_layout = "hierarchical"
+
+    def compile(
+        self,
+        program: PauliProgram,
+        device: CouplingGraph,
+        *,
+        parameters: Sequence[float] | None = None,
+        initial_layout: dict[int, int] | None = None,
+        seed: int = 11,
+    ):
+        return MergeToRootCompiler(device).compile(
+            program, parameters, initial_layout=initial_layout
+        )
+
+
+class SabreAdapter(CompilerAdapter):
+    """The traditional flow: chain synthesis followed by SABRE mapping."""
+
+    name = "sabre"
+
+    def compile(
+        self,
+        program: PauliProgram,
+        device: CouplingGraph,
+        *,
+        parameters: Sequence[float] | None = None,
+        initial_layout: dict[int, int] | None = None,
+        seed: int = 11,
+    ):
+        if parameters is None:
+            parameters = [0.0] * program.num_parameters
+        chain = synthesize_program_chain(program, parameters)
+        return SabreRouter(device, seed=seed).run(chain, initial_layout=initial_layout)
+
+
+CompilerFactory = Callable[[], CompilerAdapter]
+
+_COMPILERS: dict[str, CompilerFactory] = {}
+
+
+def _normalize(name: str) -> str:
+    return name.strip().lower().replace("-", "").replace("_", "")
+
+
+def register_compiler(
+    name: str, factory: CompilerFactory, *, overwrite: bool = False
+) -> None:
+    """Register a compiler adapter factory under ``name`` (normalized)."""
+    key = _normalize(name)
+    if not key:
+        raise ValueError("compiler name must be non-empty")
+    if key in _COMPILERS and not overwrite:
+        raise ValueError(f"compiler {name!r} already registered")
+    _COMPILERS[key] = factory
+
+
+def list_compilers() -> list[str]:
+    return sorted(_COMPILERS)
+
+
+def get_compiler(name: str | CompilerAdapter) -> CompilerAdapter:
+    """Resolve a compiler name (``"mtr"``/``"merge_to_root"``/``"sabre"``)."""
+    if isinstance(name, CompilerAdapter):
+        return name
+    key = _normalize(str(name))
+    if key not in _COMPILERS:
+        raise ValueError(
+            f"unknown compiler {name!r}; registered compilers: "
+            f"{', '.join(list_compilers())}"
+        )
+    return _COMPILERS[key]()
+
+
+register_compiler("mtr", MergeToRootAdapter)
+register_compiler("mergetoroot", MergeToRootAdapter)
+register_compiler("sabre", SabreAdapter)

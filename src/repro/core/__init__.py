@@ -7,14 +7,40 @@
   (Algorithm 1);
 * :mod:`repro.core.compression` -- hardware-friendly compressed ansatz
   construction (Section III-B);
+* :mod:`repro.core.passes`      -- the composable pass-manager: named
+  pipeline stages over a shared context, configured by
+  :class:`~repro.core.passes.PipelineConfig`;
 * :mod:`repro.core.pipeline`    -- the end-to-end co-optimization flow of
-  Figure 1 (Hamiltonian -> compressed IR -> X-Tree circuit).
+  Figure 1 as a :class:`~repro.core.pipeline.Pipeline` of passes, plus
+  batch execution and serializable results.
 """
 
 from repro.core.ir import IRTerm, PauliProgram
 from repro.core.importance import decay_factor, parameter_importance, string_score
 from repro.core.compression import CompressedAnsatz, compress_ansatz, random_ansatz
-from repro.core.pipeline import CoOptimizationResult, co_optimize
+from repro.core.passes import (
+    BuildAnsatz,
+    BuildProblem,
+    Compress,
+    Energy,
+    InitialLayout,
+    Metrics,
+    Pass,
+    PipelineConfig,
+    PipelineContext,
+    PipelineError,
+    Route,
+)
+from repro.core.pipeline import (
+    DEFAULT_PASSES,
+    CoOptimizationResult,
+    Pipeline,
+    co_optimize,
+    default_passes,
+    load_batch,
+    run_batch,
+    save_batch,
+)
 
 __all__ = [
     "IRTerm",
@@ -25,6 +51,23 @@ __all__ = [
     "CompressedAnsatz",
     "compress_ansatz",
     "random_ansatz",
+    "Pass",
+    "PipelineConfig",
+    "PipelineContext",
+    "PipelineError",
+    "BuildProblem",
+    "BuildAnsatz",
+    "Compress",
+    "InitialLayout",
+    "Route",
+    "Metrics",
+    "Energy",
+    "DEFAULT_PASSES",
+    "default_passes",
+    "Pipeline",
     "CoOptimizationResult",
     "co_optimize",
+    "run_batch",
+    "save_batch",
+    "load_batch",
 ]

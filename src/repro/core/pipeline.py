@@ -1,55 +1,291 @@
 """End-to-end Pauli-string-centric co-optimization (Figure 1).
 
-``co_optimize`` wires the three contributions together:
+The flow is a :class:`Pipeline` of named, swappable passes (see
+:mod:`repro.core.passes`):
 
-    Hamiltonian of the chemical system
-      -> UCCSD Pauli strings + parameter importance (ansatz compression)
-      -> Pauli-string IR (importance-ordered)
-      -> hierarchical initial layout + Merge-to-Root synthesis/routing
-      -> hardware-compatible circuit for an X-Tree device
+    Hamiltonian of the chemical system          (BuildProblem)
+      -> UCCSD Pauli strings                    (BuildAnsatz)
+      -> importance compression                 (Compress)
+      -> hierarchical initial layout            (InitialLayout)
+      -> Merge-to-Root / SABRE routing          (Route)
+      -> JSON-safe summary scalars              (Metrics)
+
+``co_optimize`` remains as a thin compatibility wrapper that builds the
+default pipeline; :func:`run_batch` fans a list of configs out over a
+thread pool with shared per-problem Hamiltonian caching, and results
+serialize through ``to_dict``/``from_dict`` for persistence and diffing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING
+import copy
+import json
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from repro.chem.hamiltonian import MolecularProblem, build_molecule_hamiltonian
-from repro.core.compression import CompressedAnsatz, compress_ansatz
+from repro.core.compression import CompressedAnsatz
+from repro.core.passes import (
+    BuildAnsatz,
+    BuildProblem,
+    Compress,
+    InitialLayout,
+    Metrics,
+    Pass,
+    PipelineConfig,
+    PipelineContext,
+    Route,
+    collect_metrics,
+)
 from repro.hardware.coupling import CouplingGraph
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid package cycles
     from repro.ansatz.uccsd import UCCSDAnsatz
-    from repro.compiler.merge_to_root import CompiledProgram
+    from repro.vqe.runner import VQEResult
+
+#: Stage classes of the default co-optimization pipeline, in order.
+DEFAULT_PASSES: tuple[type[Pass], ...] = (
+    BuildProblem,
+    BuildAnsatz,
+    Compress,
+    InitialLayout,
+    Route,
+    Metrics,
+)
+
+SCHEMA_VERSION = 1
+
+
+def default_passes() -> list[Pass]:
+    """Fresh instances of the default stages."""
+    return [cls() for cls in DEFAULT_PASSES]
+
+
+def _layout_pairs(layout: dict[int, int] | None) -> list[list[int]] | None:
+    if layout is None:
+        return None
+    return [[int(l), int(p)] for l, p in sorted(layout.items())]
 
 
 @dataclass
 class CoOptimizationResult:
-    """Artifacts of the full co-optimization flow for one instance."""
+    """Artifacts of the full co-optimization flow for one instance.
 
-    problem: MolecularProblem
-    full_ansatz: "UCCSDAnsatz"
-    compressed: CompressedAnsatz
-    compiled: "CompiledProgram"
-    device: CouplingGraph
+    Results come in two flavors: **live** results from a pipeline run
+    carry the heavy in-memory artifacts (problem, ansatz, compiled
+    circuit, device), while **deserialized** results
+    (:meth:`from_dict`) carry only the JSON-safe summary in ``metrics``
+    and ``record``.  The scalar accessors work on both.
+    """
 
+    problem: MolecularProblem | None
+    full_ansatz: "UCCSDAnsatz | None"
+    compressed: CompressedAnsatz | None
+    compiled: Any
+    device: CouplingGraph | None
+    config: PipelineConfig | None = None
+    metrics: dict[str, Any] = field(default_factory=dict)
+    vqe_result: "VQEResult | None" = None
+    record: dict[str, Any] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def from_context(cls, context: PipelineContext) -> "CoOptimizationResult":
+        return cls(
+            problem=context.problem,
+            full_ansatz=context.ansatz,
+            compressed=context.compressed,
+            compiled=context.compiled,
+            device=context.device,
+            config=context.config,
+            metrics=context.metrics,
+            vqe_result=context.vqe_result,
+        )
+
+    # ------------------------------------------------------------------
+    # Scalar accessors (live or deserialized)
+    # ------------------------------------------------------------------
     @property
     def original_cnots(self) -> int:
-        return self.compressed.program.cnot_count()
+        if self.compressed is not None:
+            return self.compressed.program.cnot_count()
+        return int(self.metrics["original_cnots"])
 
     @property
     def overhead_cnots(self) -> int:
-        return self.compiled.overhead_cnots
+        if self.compiled is not None:
+            return self.compiled.overhead_cnots
+        return int(self.metrics["overhead_cnots"])
+
+    @property
+    def num_swaps(self) -> int:
+        if self.compiled is not None:
+            return self.compiled.num_swaps
+        return int(self.metrics["num_swaps"])
+
+    @property
+    def device_name(self) -> str:
+        if self.device is not None:
+            return self.device.name
+        return str(self.metrics.get("device", "?"))
 
     def summary(self) -> str:
-        kept = self.compressed.num_parameters
-        total = self.full_ansatz.num_parameters
+        if self.compressed is not None and self.full_ansatz is not None:
+            kept = self.compressed.num_parameters
+            total = self.full_ansatz.num_parameters
+            return (
+                f"{self.problem.molecule.name}: kept {kept}/{total} parameters "
+                f"({self.compressed.ratio:.0%}), {len(self.compressed.program)} "
+                f"Pauli strings, {self.original_cnots} CNOTs + "
+                f"{self.overhead_cnots} overhead on {self.device_name}"
+            )
+        m = self.metrics
         return (
-            f"{self.problem.molecule.name}: kept {kept}/{total} parameters "
-            f"({self.compressed.ratio:.0%}), {len(self.compressed.program)} Pauli "
-            f"strings, {self.original_cnots} CNOTs + {self.overhead_cnots} overhead "
-            f"on {self.device.name}"
+            f"{m.get('molecule', '?')}: kept {m.get('num_parameters', '?')}"
+            f"/{m.get('total_parameters', '?')} parameters, "
+            f"{m.get('original_cnots', '?')} CNOTs + "
+            f"{m.get('overhead_cnots', '?')} overhead on {self.device_name}"
         )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe snapshot: config + scalar metrics + layouts."""
+        if self.record:
+            return copy.deepcopy(self.record)
+        metrics = dict(self.metrics)
+        if "original_cnots" not in metrics and self.compressed is not None:
+            context = PipelineContext(
+                config=self.config or self._fallback_config(),
+                problem=self.problem,
+                ansatz=self.full_ansatz,
+                compressed=self.compressed,
+                device=self.device,
+                compiled=self.compiled,
+            )
+            metrics = {**collect_metrics(context), **metrics}
+        kept = (
+            [int(k) for k in self.compressed.kept_parameters]
+            if self.compressed is not None
+            else None
+        )
+        initial_layout = final_layout = None
+        if self.compiled is not None:
+            initial_layout = _layout_pairs(self.compiled.initial_layout)
+            final_layout = _layout_pairs(self.compiled.final_layout)
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "config": self.config.to_dict() if self.config else None,
+            "metrics": metrics,
+            "kept_parameters": kept,
+            "initial_layout": initial_layout,
+            "final_layout": final_layout,
+        }
+
+    def _fallback_config(self) -> PipelineConfig:
+        molecule = self.problem.molecule.name if self.problem else "?"
+        ratio = self.compressed.ratio if self.compressed else 1.0
+        return PipelineConfig(molecule=molecule, ratio=ratio)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CoOptimizationResult":
+        """Rebuild a lightweight (metrics-only) result from a snapshot."""
+        config = (
+            PipelineConfig.from_dict(data["config"])
+            if data.get("config") is not None
+            else None
+        )
+        return cls(
+            problem=None,
+            full_ansatz=None,
+            compressed=None,
+            compiled=None,
+            device=None,
+            config=config,
+            metrics=dict(data.get("metrics", {})),
+            record=copy.deepcopy(data),
+        )
+
+    def to_json(self, **kwargs: Any) -> str:
+        kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CoOptimizationResult":
+        return cls.from_dict(json.loads(text))
+
+
+class Pipeline:
+    """A configured sequence of passes over one shared context.
+
+    >>> Pipeline(PipelineConfig(molecule="H2", ratio=0.5)).run()
+
+    Stages are plain objects in ``self.passes``; use :meth:`replacing`,
+    :meth:`without` and :meth:`appending` to derive variant pipelines
+    (ablations swap one stage, workloads append an ``Energy`` stage).
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        passes: Sequence[Pass] | None = None,
+        **overrides: Any,
+    ):
+        if config is None:
+            config = PipelineConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        self.config = config
+        self.passes: list[Pass] = (
+            list(passes) if passes is not None else default_passes()
+        )
+
+    def pass_names(self) -> list[str]:
+        return [p.name for p in self.passes]
+
+    def _index_of(self, name: str) -> int:
+        for index, p in enumerate(self.passes):
+            if p.name == name:
+                return index
+        raise ValueError(
+            f"pipeline has no pass named {name!r}; stages: {self.pass_names()}"
+        )
+
+    def replacing(self, name: str, new_pass: Pass) -> "Pipeline":
+        """A new pipeline with the stage called ``name`` swapped out."""
+        passes = list(self.passes)
+        passes[self._index_of(name)] = new_pass
+        return Pipeline(self.config, passes)
+
+    def without(self, name: str) -> "Pipeline":
+        passes = list(self.passes)
+        del passes[self._index_of(name)]
+        return Pipeline(self.config, passes)
+
+    def appending(self, *new_passes: Pass) -> "Pipeline":
+        return Pipeline(self.config, list(self.passes) + list(new_passes))
+
+    def run(
+        self,
+        *,
+        problem: MolecularProblem | None = None,
+        device: CouplingGraph | None = None,
+    ) -> CoOptimizationResult:
+        """Execute the stages in order and package the context.
+
+        ``problem``/``device`` pre-seed the context, letting callers
+        share a built Hamiltonian or target a hand-built graph.
+        """
+        context = PipelineContext(config=self.config, problem=problem, device=device)
+        for stage in self.passes:
+            stage.run(context)
+        return CoOptimizationResult.from_context(context)
+
+    def __repr__(self) -> str:
+        return f"Pipeline({self.config.describe()}; stages={self.pass_names()})"
 
 
 def co_optimize(
@@ -57,36 +293,106 @@ def co_optimize(
     *,
     ratio: float = 0.5,
     bond_length: float | None = None,
-    device: CouplingGraph | None = None,
+    device: CouplingGraph | str | None = None,
+    compiler: str = "mtr",
 ) -> CoOptimizationResult:
-    """Run the full co-optimization flow on one molecule instance.
+    """Run the default co-optimization pipeline on one molecule instance.
+
+    Compatibility wrapper over :class:`Pipeline`.
 
     Args:
         molecule: benchmark molecule name or a prebuilt problem.
         ratio: parameter compression ratio (Section III-B).
         bond_length: geometry parameter, equilibrium by default.
-        device: target architecture; XTree17Q by default.
+        device: target architecture -- a registry name or a prebuilt
+            :class:`CouplingGraph`; XTree17Q by default.
+        compiler: compiler registry name ("mtr" or "sabre").
     """
-    from repro.ansatz.uccsd import build_uccsd_program
-    from repro.compiler.layout import hierarchical_initial_layout
-    from repro.compiler.merge_to_root import MergeToRootCompiler
-    from repro.hardware.xtree import xtree
-
+    problem: MolecularProblem | None = None
     if isinstance(molecule, MolecularProblem):
         problem = molecule
+        name = problem.molecule.name
+        bond_length = problem.molecule.bond_length
     else:
-        problem = build_molecule_hamiltonian(molecule, bond_length)
-    device = device or xtree(17)
-    ansatz = build_uccsd_program(problem)
-    compressed = compress_ansatz(ansatz.program, problem.hamiltonian, ratio)
-    layout = hierarchical_initial_layout(compressed.program, device)
-    compiled = MergeToRootCompiler(device).compile(
-        compressed.program, initial_layout=layout
+        name = molecule
+
+    device_graph: CouplingGraph | None = None
+    device_name = "xtree17"
+    if isinstance(device, CouplingGraph):
+        device_graph = device
+        device_name = device.name
+    elif device is not None:
+        device_name = device
+
+    config = PipelineConfig(
+        molecule=name,
+        bond_length=bond_length,
+        ratio=ratio,
+        device=device_name,
+        compiler=compiler,
     )
-    return CoOptimizationResult(
-        problem=problem,
-        full_ansatz=ansatz,
-        compressed=compressed,
-        compiled=compiled,
-        device=device,
-    )
+    return Pipeline(config).run(problem=problem, device=device_graph)
+
+
+def run_batch(
+    configs: Iterable[PipelineConfig],
+    *,
+    workers: int | None = None,
+    pipeline_factory: Callable[[PipelineConfig], Pipeline] | None = None,
+) -> list[CoOptimizationResult]:
+    """Run many pipeline configs concurrently (bond scans, yield studies).
+
+    The chemistry substrate dominates cold-start cost, so each unique
+    (molecule, bond length) Hamiltonian is built exactly once up front --
+    concurrently, but one task per problem -- before the per-config
+    pipelines fan out over the thread pool.  Results are returned in
+    input order.
+
+    Args:
+        configs: pipeline configurations to run.
+        workers: thread count; defaults to ``min(len(configs), cpu_count)``.
+        pipeline_factory: builds the pipeline for one config; defaults to
+            the standard ``Pipeline(config)`` (pass a custom factory to
+            append stages, e.g. ``Energy`` for VQE sweeps).
+    """
+    configs = list(configs)
+    if not configs:
+        return []
+    factory = pipeline_factory or Pipeline
+
+    unique_problems: dict[tuple[str, float | None], PipelineConfig] = {}
+    for config in configs:
+        unique_problems.setdefault((config.molecule, config.bond_length), config)
+
+    if workers is None:
+        workers = min(len(configs), os.cpu_count() or 1)
+    workers = max(1, workers)
+
+    if workers == 1:
+        return [factory(config).run() for config in configs]
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        # Warm the per-problem Hamiltonian cache without duplicate work.
+        list(
+            pool.map(
+                lambda c: build_molecule_hamiltonian(c.molecule, c.bond_length),
+                unique_problems.values(),
+            )
+        )
+        return list(pool.map(lambda c: factory(c).run(), configs))
+
+
+def save_batch(
+    results: Iterable[CoOptimizationResult], path: str | Path
+) -> Path:
+    """Persist batch results as a sorted, indented (diff-able) JSON file."""
+    path = Path(path)
+    payload = [result.to_dict() for result in results]
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_batch(path: str | Path) -> list[CoOptimizationResult]:
+    """Load results saved by :func:`save_batch` (metrics-only records)."""
+    payload = json.loads(Path(path).read_text())
+    return [CoOptimizationResult.from_dict(entry) for entry in payload]

@@ -9,7 +9,10 @@
 * :mod:`repro.hardware.frequency`  -- fixed-frequency transmon model:
   frequency allocation and Brink-style collision conditions;
 * :mod:`repro.hardware.yield_model`-- Monte-Carlo fabrication yield
-  (Figure 11 methodology, following Li/Ding/Xie ASPLOS'20 [56]).
+  (Figure 11 methodology, following Li/Ding/Xie ASPLOS'20 [56]);
+* :mod:`repro.hardware.registry`   -- string-keyed device lookup
+  (``get_device("xtree17")``, ``get_device("grid17")``, parameterized
+  ``"xtree<N>"`` / ``"grid<R>x<C>"`` families).
 """
 
 from repro.hardware.coupling import CouplingGraph
@@ -17,6 +20,7 @@ from repro.hardware.xtree import xtree, XTREE_SIZES
 from repro.hardware.grid import grid17q, grid
 from repro.hardware.frequency import allocate_frequencies, CollisionModel
 from repro.hardware.yield_model import estimate_yield, YieldEstimate
+from repro.hardware.registry import get_device, list_devices, register_device
 
 __all__ = [
     "CouplingGraph",
@@ -24,6 +28,9 @@ __all__ = [
     "XTREE_SIZES",
     "grid17q",
     "grid",
+    "get_device",
+    "list_devices",
+    "register_device",
     "allocate_frequencies",
     "CollisionModel",
     "estimate_yield",

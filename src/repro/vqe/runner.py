@@ -9,7 +9,7 @@ iterations to convergence.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -18,6 +18,38 @@ from repro.pauli import PauliSum
 from repro.sim.noise import DepolarizingNoiseModel
 from repro.vqe.energy import DensityMatrixEnergy, SamplingEnergy, StatevectorEnergy
 from repro.vqe.optimizer import OptimizationOutcome, minimize_energy
+
+#: Registry of energy-backend factories; keys are the valid ``backend``
+#: names for :class:`VQE`.  Extend with :func:`register_backend`.
+ENERGY_BACKENDS: dict[str, Callable[..., Any]] = {
+    "statevector": lambda program, hamiltonian, *, noise, shots_per_group, seed: (
+        StatevectorEnergy(program, hamiltonian)
+    ),
+    "density_matrix": lambda program, hamiltonian, *, noise, shots_per_group, seed: (
+        DensityMatrixEnergy(program, hamiltonian, noise)
+    ),
+    "sampling": lambda program, hamiltonian, *, noise, shots_per_group, seed: (
+        SamplingEnergy(program, hamiltonian, shots_per_group=shots_per_group, seed=seed)
+    ),
+}
+
+
+def available_backends() -> list[str]:
+    return sorted(ENERGY_BACKENDS)
+
+
+def register_backend(
+    name: str, factory: Callable[..., Any], *, overwrite: bool = False
+) -> None:
+    """Register an energy-backend factory under ``name``.
+
+    The factory is called as ``factory(program, hamiltonian, noise=...,
+    shots_per_group=..., seed=...)`` and must return an object with an
+    ``evaluate(parameters) -> float`` method.
+    """
+    if name in ENERGY_BACKENDS and not overwrite:
+        raise ValueError(f"backend {name!r} already registered")
+    ENERGY_BACKENDS[name] = factory
 
 
 @dataclass
@@ -34,8 +66,35 @@ class VQEResult:
 
     @property
     def hartree_fock_energy(self) -> float:
-        """The first evaluated energy (the all-zero Hartree-Fock start)."""
-        return self.history[0] if self.history else float("nan")
+        """The first evaluated energy (the all-zero Hartree-Fock start).
+
+        NaN when the optimizer recorded no evaluations at all.
+        """
+        return float(self.history[0]) if len(self.history) > 0 else float("nan")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe snapshot of the run."""
+        return {
+            "energy": float(self.energy),
+            "parameters": [float(p) for p in np.asarray(self.parameters).ravel()],
+            "iterations": int(self.iterations),
+            "function_evaluations": int(self.function_evaluations),
+            "success": bool(self.success),
+            "history": [float(e) for e in self.history],
+            "backend": self.backend,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "VQEResult":
+        return cls(
+            energy=float(data["energy"]),
+            parameters=np.asarray(data["parameters"], dtype=float),
+            iterations=int(data["iterations"]),
+            function_evaluations=int(data["function_evaluations"]),
+            success=bool(data["success"]),
+            history=[float(e) for e in data["history"]],
+            backend=str(data["backend"]),
+        )
 
 
 class VQE:
@@ -54,18 +113,20 @@ class VQE:
         max_iterations: int = 200,
         tolerance: float = 1e-8,
     ):
-        if backend == "statevector":
-            self.energy = StatevectorEnergy(program, hamiltonian)
-        elif backend == "density_matrix":
-            self.energy = DensityMatrixEnergy(program, hamiltonian, noise)
-        elif backend == "sampling":
-            self.energy = SamplingEnergy(
-                program, hamiltonian, shots_per_group=shots_per_group, seed=seed
-            )
-        else:
+        try:
+            factory = ENERGY_BACKENDS[backend]
+        except KeyError:
             raise ValueError(
-                "backend must be 'statevector', 'density_matrix' or 'sampling'"
-            )
+                f"unknown VQE backend {backend!r}; valid backends: "
+                f"{', '.join(available_backends())}"
+            ) from None
+        self.energy = factory(
+            program,
+            hamiltonian,
+            noise=noise,
+            shots_per_group=shots_per_group,
+            seed=seed,
+        )
         self.backend = backend
         self.program = program
         self.hamiltonian = hamiltonian
