@@ -2,8 +2,17 @@
 
 These are classic pytest-benchmark timings (many rounds) for the kernels
 the experiment harness leans on: Pauli algebra, statevector evolution,
-grouped expectation, Merge-to-Root compilation and SABRE routing.
+grouped expectation, Merge-to-Root compilation and SABRE routing --
+plus the simulation-engine comparison (legacy vs. in-place vs. batched,
+adjoint vs. parameter-shift gradients) that writes the ``BENCH_sim.json``
+artifact.  Regenerate the artifact without pytest via::
+
+    PYTHONPATH=src python benchmarks/bench_primitives.py
 """
+
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 
@@ -15,6 +24,9 @@ from repro.hardware import xtree
 from repro.pauli import PauliString
 from repro.sim import ExpectationEngine, basis_state
 from repro.sim.pauli_evolution import evolve_pauli_sequence
+from repro.vqe import AdjointGradient, ParameterShiftGradient, sweep_energies
+
+BENCH_SIM_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
 
 
 def test_pauli_compose_speed(benchmark):
@@ -55,6 +67,113 @@ def test_sabre_routing_speed(benchmark):
     benchmark.pedantic(router.run, args=(chain,), iterations=1, rounds=3)
 
 
+# ----------------------------------------------------------------------
+# Simulation-engine comparison -> BENCH_sim.json
+# ----------------------------------------------------------------------
+def _best_of(repeats: int, fn) -> float:
+    """Best wall-clock of ``repeats`` runs (cold-cache noise suppressor)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def collect_sim_engine_timings(
+    molecule: str = "H2O", batch_size: int = 24, repeats: int = 3
+) -> dict:
+    """Time the paper-table inner loop under each simulation engine.
+
+    The workload is the ISSUE-3 acceptance target: a UCCSD energy sweep
+    over ``batch_size`` parameter sets of the 12-qubit ``molecule``
+    (H2O), evaluated by the legacy out-of-place engine (one point at a
+    time), the in-place engine, and the batched ``(K, 2**n)`` engine.
+    Also times one full gradient by parameter shift vs. adjoint mode.
+    """
+    problem = build_molecule_hamiltonian(molecule)
+    program = build_uccsd_program(problem).program
+    rng = np.random.default_rng(5)
+    parameter_sets = rng.normal(0.0, 0.1, (batch_size, program.num_parameters))
+
+    seconds = {
+        engine: _best_of(
+            repeats,
+            lambda engine=engine: sweep_energies(
+                program, problem.hamiltonian, parameter_sets, engine=engine
+            ),
+        )
+        for engine in ("legacy", "inplace", "batched")
+    }
+    # Cross-engine agreement guard: a fast-but-wrong engine must not
+    # produce a plausible-looking artifact.
+    reference = sweep_energies(
+        program, problem.hamiltonian, parameter_sets, engine="legacy"
+    )
+    for engine in ("inplace", "batched"):
+        candidate = sweep_energies(
+            program, problem.hamiltonian, parameter_sets, engine=engine
+        )
+        np.testing.assert_allclose(candidate, reference, atol=1e-10)
+
+    theta = parameter_sets[0]
+    adjoint = AdjointGradient(program, problem.hamiltonian)
+    shift = ParameterShiftGradient(program, problem.hamiltonian)
+    adjoint_seconds = _best_of(1, lambda: adjoint.gradient(theta))
+    shift_seconds = _best_of(1, lambda: shift.gradient(theta))
+
+    return {
+        "workload": (
+            f"{molecule} UCCSD energy sweep, {batch_size} parameter sets"
+        ),
+        "molecule": molecule,
+        "num_qubits": program.num_qubits,
+        "num_parameters": program.num_parameters,
+        "num_pauli_strings": len(program.terms),
+        "batch_size": batch_size,
+        "sweep_seconds": {k: round(v, 6) for k, v in seconds.items()},
+        "speedup_inplace_vs_legacy": round(seconds["legacy"] / seconds["inplace"], 2),
+        "speedup_batched_vs_legacy": round(seconds["legacy"] / seconds["batched"], 2),
+        "gradient": {
+            "parameter_shift_seconds": round(shift_seconds, 6),
+            "adjoint_seconds": round(adjoint_seconds, 6),
+            "speedup_adjoint_vs_parameter_shift": round(
+                shift_seconds / adjoint_seconds, 2
+            ),
+        },
+    }
+
+
+def write_bench_sim_artifact(timings: dict, path: Path = BENCH_SIM_PATH) -> Path:
+    path.write_text(json.dumps(timings, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def test_sim_engine_speedup_and_artifact():
+    """ISSUE-3 acceptance: >=3x batched-vs-legacy on the 12-qubit sweep.
+
+    Plain wall-clock timing (not pytest-benchmark) because the artifact
+    records one comparable number per engine; writes ``BENCH_sim.json``
+    at the repo root for the CI workflow to upload.
+
+    ``BENCH_SIM_MIN_SPEEDUP`` relaxes the gate where wall-clock ratios
+    are noisy (shared CI runners set 1.5 -- enough to catch a real
+    engine regression without flaking on scheduler jitter); the local
+    default stays at the strict 3.0 acceptance bar.
+    """
+    import os
+
+    minimum = float(os.environ.get("BENCH_SIM_MIN_SPEEDUP", "3.0"))
+    timings = collect_sim_engine_timings()
+    path = write_bench_sim_artifact(timings)
+    print()
+    print(json.dumps(timings, indent=2, sort_keys=True))
+    print(f"wrote {path}")
+    assert timings["num_qubits"] == 12
+    assert timings["speedup_batched_vs_legacy"] >= minimum
+    assert timings["gradient"]["speedup_adjoint_vs_parameter_shift"] > 1.0
+
+
 def test_hamiltonian_construction_speed(benchmark):
     """Full substrate pipeline timing (integrals + SCF + JW), uncached."""
     from repro.chem.hamiltonian import _build_cached
@@ -64,3 +183,9 @@ def test_hamiltonian_construction_speed(benchmark):
         return _build_cached("LiH", 15950)
 
     benchmark.pedantic(build, iterations=1, rounds=3)
+
+
+if __name__ == "__main__":
+    artifact = write_bench_sim_artifact(collect_sim_engine_timings())
+    print(json.dumps(json.loads(artifact.read_text()), indent=2, sort_keys=True))
+    print(f"wrote {artifact}")

@@ -23,6 +23,24 @@ what the importance-ordered ansatz exploits: early, important strings
 drag their qubits toward the root once and later strings reuse the
 arrangement.  Overhead is therefore exactly ``3 * #SWAPs`` extra CNOTs,
 matching the granularity of Table II.
+
+Usage -- compile a UCCSD program onto an X-Tree device:
+
+>>> from repro.ansatz import build_uccsd_program
+>>> from repro.chem import build_molecule_hamiltonian
+>>> from repro.compiler.merge_to_root import MergeToRootCompiler
+>>> from repro.hardware.xtree import xtree
+>>> problem = build_molecule_hamiltonian("H2")
+>>> program = build_uccsd_program(problem).program
+>>> compiled = MergeToRootCompiler(xtree(5)).compile(program)
+>>> compiled.overhead_cnots == 3 * compiled.num_swaps
+True
+>>> sorted(compiled.initial_layout) == list(range(program.num_qubits))
+True
+
+(Prefer the registry form ``get_compiler("mtr").compile(program, device)``
+inside pipelines -- see :mod:`repro.compiler.registry` -- so benchmarks
+can swap in SABRE by name.)
 """
 
 from __future__ import annotations

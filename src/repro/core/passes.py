@@ -49,7 +49,11 @@ class PipelineConfig:
     ``device`` and ``compiler`` are registry names (see
     :func:`repro.hardware.get_device` / :func:`repro.compiler.get_compiler`);
     ``layout`` is one of :data:`LAYOUT_SCHEMES`; ``seed`` feeds the SABRE
-    baseline's tie-breaking RNG.
+    baseline's tie-breaking RNG; ``engine`` selects the simulation fast
+    path (:data:`repro.sim.statevector.ENGINES`:
+    ``"inplace"``/``"batched"``/``"legacy"``) used by the optional
+    :class:`Energy` stage and anything else that simulates the staged
+    ansatz.
     """
 
     molecule: str = "H2"
@@ -58,6 +62,7 @@ class PipelineConfig:
     device: str = "xtree17"
     compiler: str = "mtr"
     layout: str = "auto"
+    engine: str = "inplace"
     decay_base: float = 2.0
     seed: int = 11
     label: str | None = None
@@ -223,6 +228,8 @@ class Energy(Pass):
     Not part of the default pipeline; append it for accuracy/convergence
     workloads.  Records ``energy``, ``iterations``, and (when
     ``compute_exact``) ``exact_energy``/``energy_error`` in the metrics.
+    The simulation engine defaults to the config's ``engine`` field, so
+    batch sweeps switch fast paths without touching the stage.
     """
 
     name = "energy"
@@ -231,11 +238,15 @@ class Energy(Pass):
         self,
         *,
         backend: str = "statevector",
+        engine: str | None = None,
+        gradient: str | None = None,
         noise: Any = None,
         max_iterations: int = 200,
         compute_exact: bool = True,
     ):
         self.backend = backend
+        self.engine = engine
+        self.gradient = gradient
         self.noise = noise
         self.max_iterations = max_iterations
         self.compute_exact = compute_exact
@@ -252,6 +263,8 @@ class Energy(Pass):
             staged,
             problem.hamiltonian,
             backend=self.backend,
+            engine=self.engine or context.config.engine,
+            gradient=self.gradient,
             noise=self.noise,
             max_iterations=self.max_iterations,
         ).run()

@@ -14,6 +14,28 @@ The flow is a :class:`Pipeline` of named, swappable passes (see
 default pipeline; :func:`run_batch` fans a list of configs out over a
 thread pool with shared per-problem Hamiltonian caching, and results
 serialize through ``to_dict``/``from_dict`` for persistence and diffing.
+
+Usage -- run one instance, swap a stage, batch a sweep:
+
+>>> from repro.core.pipeline import Pipeline, run_batch
+>>> from repro.core.passes import PipelineConfig
+>>> result = Pipeline(PipelineConfig(molecule="H2", ratio=0.5)).run()
+>>> result.metrics["num_parameters"], result.metrics["compiler"]
+(2, 'mtr')
+>>> baseline = Pipeline(
+...     PipelineConfig(molecule="H2", ratio=0.5, compiler="sabre")
+... ).run()
+>>> baseline.metrics["compiler"]
+'sabre'
+>>> curve = run_batch(
+...     [PipelineConfig(molecule="H2", bond_length=b) for b in (0.6, 0.735)]
+... )
+>>> [round(r.metrics["bond_length"], 3) for r in curve]
+[0.6, 0.735]
+
+Appending the optional :class:`~repro.core.passes.Energy` stage turns the
+compile pipeline into the VQE accuracy workload; its simulation fast
+path follows ``PipelineConfig.engine`` (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -221,7 +243,7 @@ class CoOptimizationResult:
 class Pipeline:
     """A configured sequence of passes over one shared context.
 
-    >>> Pipeline(PipelineConfig(molecule="H2", ratio=0.5)).run()
+    >>> result = Pipeline(PipelineConfig(molecule="H2", ratio=0.5)).run()
 
     Stages are plain objects in ``self.passes``; use :meth:`replacing`,
     :meth:`without` and :meth:`appending` to derive variant pipelines

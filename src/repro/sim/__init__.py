@@ -1,32 +1,59 @@
 """Simulation substrate.
 
-* :mod:`repro.sim.statevector` -- gate-level statevector simulator
+* :mod:`repro.sim.statevector` -- gate-level statevector simulator with
+  in-place index-slice kernels plus the legacy tensordot engine
   (the stand-in for Qiskit Aer's statevector simulator).
+* :mod:`repro.sim.batched` -- K statevectors in one ``(K, 2**n)`` array,
+  evolved per gate in one vectorized call (parameter sweeps).
 * :mod:`repro.sim.pauli_evolution` -- fast application of ``exp(i theta P)``
-  directly to statevectors (the workhorse of the VQE energy loop).
-* :mod:`repro.sim.expectation` -- grouped Pauli-sum expectation values.
+  directly to statevectors (the workhorse of the VQE energy loop),
+  including the allocation-free workspace used by the fast engines.
+* :mod:`repro.sim.expectation` -- grouped Pauli-sum expectation values
+  (single, batched, and real-arithmetic evaluation).
 * :mod:`repro.sim.density_matrix` -- exact density-matrix simulator with
   noise channels (the stand-in for Aer's qasm simulator + noise model).
 * :mod:`repro.sim.exact` -- sparse exact ground-state solver ("Ground
   State" reference curves in Figure 9).
+
+Engine selection (``"inplace"`` / ``"batched"`` / ``"legacy"``) is
+documented in ``docs/performance.md``.
 """
 
-from repro.sim.statevector import StatevectorSimulator, basis_state, apply_circuit
-from repro.sim.pauli_evolution import apply_pauli, apply_pauli_exponential
+from repro.sim.statevector import (
+    ENGINES,
+    StatevectorSimulator,
+    apply_circuit,
+    apply_circuit_inplace,
+    apply_gate_inplace,
+    basis_state,
+    check_engine,
+)
+from repro.sim.pauli_evolution import (
+    PauliEvolutionWorkspace,
+    apply_pauli,
+    apply_pauli_exponential,
+)
+from repro.sim.batched import BatchedStatevector
 from repro.sim.expectation import ExpectationEngine, expectation
 from repro.sim.exact import ground_state_energy
 from repro.sim.density_matrix import DensityMatrixSimulator
 from repro.sim.noise import DepolarizingNoiseModel
 
 __all__ = [
+    "ENGINES",
     "StatevectorSimulator",
+    "BatchedStatevector",
     "DensityMatrixSimulator",
     "DepolarizingNoiseModel",
     "ExpectationEngine",
+    "PauliEvolutionWorkspace",
     "basis_state",
     "apply_circuit",
+    "apply_circuit_inplace",
+    "apply_gate_inplace",
     "apply_pauli",
     "apply_pauli_exponential",
+    "check_engine",
     "expectation",
     "ground_state_energy",
 ]

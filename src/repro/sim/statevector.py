@@ -1,17 +1,48 @@
 """Gate-level statevector simulator.
 
 States are little-endian: basis index ``b`` has qubit ``i`` in state
-``(b >> i) & 1``.  Gates are applied by reshaping the state tensor so the
-acted-on axes are contiguous, then contracting with the gate matrix --
-the standard dense-simulation approach, entirely in NumPy.
+``(b >> i) & 1``.
+
+Two engines implement gate application:
+
+* ``"inplace"`` (default) -- index-slice kernels that mutate a
+  preallocated buffer.  The state is viewed as a ``[2] * n`` tensor (a
+  free reshape on the contiguous buffer) and the two (four) amplitude
+  slabs selected by the acted-on qubit(s) are combined in place, with
+  specialized updates for the common gates (X/Z/S/RZ/H, CX/CZ/SWAP)
+  that avoid even the half-size temporary.  Kernels broadcast over any
+  leading batch axes, which is what :class:`repro.sim.batched.BatchedStatevector`
+  builds on.
+* ``"legacy"`` -- the original out-of-place ``tensordot`` contraction,
+  kept verbatim as the reference semantics (and regression guard).
+
+``apply_gate`` / ``apply_circuit`` keep their original copy-out
+signatures as compatibility shims over the in-place kernels.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
 from repro.circuit import Circuit
 from repro.circuit.gates import Gate
+
+_SQRT1_2 = 1.0 / math.sqrt(2.0)
+
+#: Valid values of the ``engine`` argument accepted across the stack
+#: (simulator, energy backends, pipeline config).
+ENGINES = ("inplace", "batched", "legacy")
+
+
+def check_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown simulation engine {engine!r}; valid engines: "
+            f"{', '.join(ENGINES)}"
+        )
+    return engine
 
 
 def basis_state(num_qubits: int, index: int = 0) -> np.ndarray:
@@ -23,6 +54,9 @@ def basis_state(num_qubits: int, index: int = 0) -> np.ndarray:
     return state
 
 
+# ----------------------------------------------------------------------
+# Legacy engine: out-of-place tensordot contraction (reference semantics)
+# ----------------------------------------------------------------------
 def _apply_single_qubit(state: np.ndarray, matrix: np.ndarray, qubit: int, n: int) -> np.ndarray:
     """Contract a 2x2 matrix into axis ``qubit`` of the state tensor."""
     tensor = state.reshape([2] * n)
@@ -54,8 +88,7 @@ def _apply_two_qubit(
     return np.ascontiguousarray(tensor).reshape(-1)
 
 
-def apply_gate(state: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
-    """Apply one gate to a statevector, returning the new statevector."""
+def _apply_gate_legacy(state: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
     if gate.name in ("barrier", "measure"):
         return state
     matrix = gate.matrix()
@@ -66,21 +99,180 @@ def apply_gate(state: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
     raise ValueError(f"unsupported gate arity: {gate!r}")
 
 
-def apply_circuit(circuit: Circuit, state: np.ndarray | None = None) -> np.ndarray:
-    """Run a circuit on ``state`` (defaults to ``|0...0>``)."""
+# ----------------------------------------------------------------------
+# In-place engine: index-slice kernels on the [2]*n tensor view
+# ----------------------------------------------------------------------
+def _qubit_slabs(tensor: np.ndarray, num_qubits: int, qubit: int):
+    """The two amplitude slabs (views) selected by ``qubit``.
+
+    ``tensor`` has shape ``batch + [2]*num_qubits``; qubit ``q`` lives on
+    axis ``ndim - 1 - q`` (little-endian: axis -1 is qubit 0).
+    """
+    axis = tensor.ndim - 1 - qubit
+    index: list = [slice(None)] * tensor.ndim
+    index[axis] = 0
+    slab0 = tensor[tuple(index)]
+    index[axis] = 1
+    return slab0, tensor[tuple(index)]
+
+
+def _pair_slabs(tensor: np.ndarray, num_qubits: int, qubit_a: int, qubit_b: int):
+    """The four slabs ``T[bit_b, bit_a]`` (views) for a two-qubit gate.
+
+    Returned in gate-matrix index order ``(bit_b << 1) | bit_a`` (the
+    first listed qubit is the least significant bit, as in
+    :mod:`repro.circuit.gates`).
+    """
+    axis_a = tensor.ndim - 1 - qubit_a
+    axis_b = tensor.ndim - 1 - qubit_b
+    slabs = []
+    for code in range(4):
+        index: list = [slice(None)] * tensor.ndim
+        index[axis_a] = code & 1
+        index[axis_b] = (code >> 1) & 1
+        slabs.append(tensor[tuple(index)])
+    return slabs
+
+
+def _combine_single(slab0: np.ndarray, slab1: np.ndarray, matrix: np.ndarray) -> None:
+    """Generic in-place 2x2 update of the two amplitude slabs."""
+    m00, m01 = matrix[0, 0], matrix[0, 1]
+    m10, m11 = matrix[1, 0], matrix[1, 1]
+    old0 = slab0.copy()
+    slab0 *= m00
+    slab0 += m01 * slab1
+    slab1 *= m11
+    slab1 += m10 * old0
+
+
+def _swap_slabs(a: np.ndarray, b: np.ndarray) -> None:
+    tmp = a.copy()
+    a[...] = b
+    b[...] = tmp
+
+
+def apply_gate_inplace(state: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
+    """Apply one gate to ``state`` by mutating it; returns ``state``.
+
+    ``state`` must be complex, C-contiguous, and of shape
+    ``(..., 2**num_qubits)``; any leading axes are treated as a batch and
+    evolved under the same gate in one vectorized update.
+    """
+    name = gate.name
+    if name in ("barrier", "measure"):
+        return state
+    if not state.flags.c_contiguous or state.dtype != np.complex128:
+        raise ValueError(
+            "in-place kernels need a C-contiguous complex128 buffer "
+            "(a non-contiguous view would silently reshape into a copy); "
+            "use apply_gate/apply_circuit for arbitrary inputs"
+        )
+    # Flatten any batch axes into one leading axis (always present, so
+    # slab indexing below always yields writable views, never scalars).
+    tensor = state.reshape((-1,) + (2,) * num_qubits)
+    if gate.num_qubits == 1:
+        slab0, slab1 = _qubit_slabs(tensor, num_qubits, gate.qubits[0])
+        if name == "x":
+            _swap_slabs(slab0, slab1)
+        elif name == "z":
+            slab1 *= -1.0
+        elif name == "s":
+            slab1 *= 1j
+        elif name == "sdg":
+            slab1 *= -1j
+        elif name == "rz":
+            half = 0.5 * gate.params[0]
+            slab0 *= complex(math.cos(half), -math.sin(half))
+            slab1 *= complex(math.cos(half), math.sin(half))
+        elif name == "h":
+            old0 = slab0.copy()
+            slab0 += slab1
+            slab0 *= _SQRT1_2
+            old0 -= slab1
+            old0 *= _SQRT1_2
+            slab1[...] = old0
+        else:
+            _combine_single(slab0, slab1, gate.matrix())
+        return state
+    if gate.num_qubits == 2:
+        slabs = _pair_slabs(tensor, num_qubits, gate.qubits[0], gate.qubits[1])
+        if name == "cx":
+            # control = first listed qubit (bit 0): flip the target bit
+            # within the control=1 half, i.e. swap T[b=0,a=1] <-> T[b=1,a=1].
+            _swap_slabs(slabs[1], slabs[3])
+        elif name == "cz":
+            slabs[3] *= -1.0
+        elif name == "swap":
+            _swap_slabs(slabs[1], slabs[2])
+        else:
+            matrix = gate.matrix()
+            old = [slab.copy() for slab in slabs]
+            for row in range(4):
+                slab = slabs[row]
+                slab[...] = matrix[row, 0] * old[0]
+                for col in range(1, 4):
+                    if matrix[row, col] != 0.0:
+                        slab += matrix[row, col] * old[col]
+        return state
+    raise ValueError(f"unsupported gate arity: {gate!r}")
+
+
+def apply_circuit_inplace(circuit: Circuit, state: np.ndarray) -> np.ndarray:
+    """Run a circuit on ``state`` by mutating it; returns ``state``.
+
+    Accepts batched states of shape ``(..., 2**n)`` (see
+    :func:`apply_gate_inplace`).
+    """
+    for gate in circuit.gates:
+        apply_gate_inplace(state, gate, circuit.num_qubits)
+    return state
+
+
+# ----------------------------------------------------------------------
+# Compatibility shims (original copy-out signatures)
+# ----------------------------------------------------------------------
+def apply_gate(state: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
+    """Apply one gate to a statevector, returning the new statevector.
+
+    Compatibility shim: copies the input, then runs the in-place kernel.
+    """
+    current = np.array(state, dtype=complex, copy=True)
+    return apply_gate_inplace(current, gate, num_qubits)
+
+
+def apply_circuit(
+    circuit: Circuit, state: np.ndarray | None = None, *, engine: str = "inplace"
+) -> np.ndarray:
+    """Run a circuit on ``state`` (defaults to ``|0...0>``).
+
+    The input state is never mutated.  ``engine="legacy"`` selects the
+    original out-of-place tensordot path; ``"inplace"`` (and
+    ``"batched"``, identical at this granularity) copy once and then
+    mutate the copy gate by gate.
+    """
+    check_engine(engine)
     if state is None:
         state = basis_state(circuit.num_qubits)
-    current = np.asarray(state, dtype=complex)
-    for gate in circuit.gates:
-        current = apply_gate(current, gate, circuit.num_qubits)
-    return current
+        current = state  # freshly allocated: safe to mutate
+    else:
+        current = np.array(state, dtype=complex, copy=True)
+    if engine == "legacy":
+        for gate in circuit.gates:
+            current = _apply_gate_legacy(current, gate, circuit.num_qubits)
+        return current
+    return apply_circuit_inplace(circuit, current)
 
 
 class StatevectorSimulator:
-    """Stateful simulator wrapper with sampling support."""
+    """Stateful simulator wrapper with sampling support.
 
-    def __init__(self, num_qubits: int, seed: int | None = None):
+    ``engine`` selects the gate-application path (see module docstring);
+    the default in-place engine reuses ``self.state`` as its buffer.
+    """
+
+    def __init__(self, num_qubits: int, seed: int | None = None, engine: str = "inplace"):
         self.num_qubits = num_qubits
+        self.engine = check_engine(engine)
         self.state = basis_state(num_qubits)
         self._rng = np.random.default_rng(seed)
 
@@ -91,17 +283,35 @@ class StatevectorSimulator:
     def run(self, circuit: Circuit) -> np.ndarray:
         if circuit.num_qubits != self.num_qubits:
             raise ValueError("qubit count mismatch")
-        self.state = apply_circuit(circuit, self.state)
+        if self.engine == "legacy":
+            for gate in circuit.gates:
+                self.state = _apply_gate_legacy(self.state, gate, self.num_qubits)
+        else:
+            apply_circuit_inplace(circuit, self.state)
         return self.state
 
     def probabilities(self) -> np.ndarray:
         return np.abs(self.state) ** 2
 
-    def sample(self, shots: int) -> np.ndarray:
-        """Sample ``shots`` basis-state indices from the current state."""
+    def sample(self, shots: int, *, norm_tolerance: float = 1e-8) -> np.ndarray:
+        """Sample ``shots`` basis-state indices from the current state.
+
+        The state must be normalized: a probability total further than
+        ``norm_tolerance`` from 1 raises instead of being silently
+        renormalized, so simulator bugs that leak or create norm surface
+        here instead of being masked.  (Within tolerance, the residual
+        float fuzz is still divided out because ``Generator.choice``
+        requires probabilities summing to exactly 1.)
+        """
         probs = self.probabilities()
-        probs = probs / probs.sum()
-        return self._rng.choice(len(probs), size=shots, p=probs)
+        total = probs.sum()
+        if abs(total - 1.0) > norm_tolerance:
+            raise ValueError(
+                f"statevector is not normalized: probabilities sum to {total!r} "
+                f"(|total - 1| > {norm_tolerance}); this indicates a simulation "
+                "bug rather than sampling noise"
+            )
+        return self._rng.choice(len(probs), size=shots, p=probs / total)
 
     def sample_counts(self, shots: int) -> dict[int, int]:
         outcomes, counts = np.unique(self.sample(shots), return_counts=True)

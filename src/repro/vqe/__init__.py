@@ -5,10 +5,14 @@
   (Aer-qasm + noise-model stand-in), and shot-based sampling;
 * :mod:`repro.vqe.measurement` -- qubit-wise-commuting measurement
   grouping (the inner loop);
+* :mod:`repro.vqe.gradient`    -- analytic gradients: adjoint mode (one
+  forward + one backward sweep) and the parameter-shift reference;
 * :mod:`repro.vqe.optimizer`   -- SLSQP/COBYLA outer loop [55] with
-  iteration accounting;
-* :mod:`repro.vqe.runner`      -- the VQE object tying them together;
-* :mod:`repro.vqe.scan`        -- bond-length scans (Figure 9 workloads).
+  iteration accounting and optional analytic Jacobian;
+* :mod:`repro.vqe.runner`      -- the VQE object tying them together
+  (energy backends x simulation engines x gradient methods);
+* :mod:`repro.vqe.scan`        -- bond-length scans (Figure 9 workloads)
+  and batched parameter sweeps (:func:`repro.vqe.scan.sweep_energies`).
 """
 
 from repro.vqe.energy import (
@@ -16,21 +20,27 @@ from repro.vqe.energy import (
     DensityMatrixEnergy,
     SamplingEnergy,
 )
+from repro.vqe.gradient import AdjointGradient, ParameterShiftGradient
 from repro.vqe.measurement import group_commuting_terms, MeasurementGroup
 from repro.vqe.optimizer import minimize_energy, OptimizationOutcome
-from repro.vqe.runner import VQE, VQEResult
-from repro.vqe.scan import bond_scan, ScanPoint
+from repro.vqe.runner import VQE, VQEResult, available_backends, register_backend
+from repro.vqe.scan import bond_scan, ScanPoint, sweep_energies
 
 __all__ = [
     "StatevectorEnergy",
     "DensityMatrixEnergy",
     "SamplingEnergy",
+    "AdjointGradient",
+    "ParameterShiftGradient",
     "group_commuting_terms",
     "MeasurementGroup",
     "minimize_energy",
     "OptimizationOutcome",
     "VQE",
     "VQEResult",
+    "available_backends",
+    "register_backend",
     "bond_scan",
     "ScanPoint",
+    "sweep_energies",
 ]

@@ -8,7 +8,7 @@ convergence plots use: the number of *outer-loop iterations*.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 from scipy.optimize import minimize
@@ -37,11 +37,20 @@ def minimize_energy(
     initial: Sequence[float] | None = None,
     max_iterations: int = 200,
     tolerance: float = 1e-8,
+    gradient: Callable[[Sequence[float]], np.ndarray] | None = None,
+    value_and_gradient: Callable[[Sequence[float]], tuple[float, np.ndarray]] | None = None,
 ) -> OptimizationOutcome:
     """Minimize an energy functional from the Hartree-Fock start.
 
     The all-zero start makes the first iterate exactly the Hartree-Fock
-    energy, which is the standard VQE initialization.
+    energy, which is the standard VQE initialization.  ``gradient``, when
+    given, is handed to scipy as the analytic Jacobian (used by SLSQP
+    and L-BFGS-B; the derivative-free methods ignore it), replacing the
+    2P-evaluations-per-step numerical differencing with e.g. the adjoint
+    gradient's single forward/backward sweep.  ``value_and_gradient``
+    (preferred when available) supplies both at once through scipy's
+    ``jac=True`` protocol, sharing the forward sweep between objective
+    and Jacobian.
     """
     if method not in _SUPPORTED:
         raise ValueError(f"method must be one of {_SUPPORTED}")
@@ -76,7 +85,21 @@ def minimize_energy(
     elif method == "COBYLA":
         options["tol"] = tolerance  # scipy maps this through 'tol' kwarg
 
-    result = minimize(tracked, x0, method=method, options=options)
+    fun: Callable = tracked
+    jac: Any = None
+    if method in ("SLSQP", "L-BFGS-B"):
+        if value_and_gradient is not None:
+
+            def fused(parameters: np.ndarray) -> tuple[float, np.ndarray]:
+                value, grad = value_and_gradient(parameters)
+                history.append(float(value))
+                return float(value), np.asarray(grad, dtype=float)
+
+            fun, jac = fused, True
+        elif gradient is not None:
+            jac = lambda parameters: np.asarray(gradient(parameters), dtype=float)
+
+    result = minimize(fun, x0, method=method, jac=jac, options=options)
     iterations = int(getattr(result, "nit", 0) or 0)
     if iterations == 0:  # COBYLA reports no nit; fall back to nfev
         iterations = int(result.nfev)

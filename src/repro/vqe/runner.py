@@ -8,6 +8,7 @@ iterations to convergence.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -22,13 +23,13 @@ from repro.vqe.optimizer import OptimizationOutcome, minimize_energy
 #: Registry of energy-backend factories; keys are the valid ``backend``
 #: names for :class:`VQE`.  Extend with :func:`register_backend`.
 ENERGY_BACKENDS: dict[str, Callable[..., Any]] = {
-    "statevector": lambda program, hamiltonian, *, noise, shots_per_group, seed: (
-        StatevectorEnergy(program, hamiltonian)
+    "statevector": lambda program, hamiltonian, *, noise, shots_per_group, seed, engine: (
+        StatevectorEnergy(program, hamiltonian, engine=engine)
     ),
-    "density_matrix": lambda program, hamiltonian, *, noise, shots_per_group, seed: (
+    "density_matrix": lambda program, hamiltonian, *, noise, shots_per_group, seed, engine: (
         DensityMatrixEnergy(program, hamiltonian, noise)
     ),
-    "sampling": lambda program, hamiltonian, *, noise, shots_per_group, seed: (
+    "sampling": lambda program, hamiltonian, *, noise, shots_per_group, seed, engine: (
         SamplingEnergy(program, hamiltonian, shots_per_group=shots_per_group, seed=seed)
     ),
 }
@@ -44,8 +45,11 @@ def register_backend(
     """Register an energy-backend factory under ``name``.
 
     The factory is called as ``factory(program, hamiltonian, noise=...,
-    shots_per_group=..., seed=...)`` and must return an object with an
-    ``evaluate(parameters) -> float`` method.
+    shots_per_group=..., seed=...)`` and must return a callable mapping
+    a parameter vector to a float energy.  Factories that declare an
+    ``engine`` keyword (or ``**kwargs``) additionally receive the
+    simulation-engine name from :data:`repro.sim.statevector.ENGINES`;
+    backends with no statevector fast path may simply not declare it.
     """
     if name in ENERGY_BACKENDS and not overwrite:
         raise ValueError(f"backend {name!r} already registered")
@@ -106,6 +110,8 @@ class VQE:
         hamiltonian: PauliSum,
         *,
         backend: str = "statevector",
+        engine: str = "inplace",
+        gradient: str | None = None,
         noise: DepolarizingNoiseModel | None = None,
         shots_per_group: int = 4096,
         seed: int | None = 17,
@@ -113,6 +119,9 @@ class VQE:
         max_iterations: int = 200,
         tolerance: float = 1e-8,
     ):
+        from repro.sim.statevector import check_engine
+
+        check_engine(engine)
         try:
             factory = ENERGY_BACKENDS[backend]
         except KeyError:
@@ -120,14 +129,40 @@ class VQE:
                 f"unknown VQE backend {backend!r}; valid backends: "
                 f"{', '.join(available_backends())}"
             ) from None
-        self.energy = factory(
-            program,
-            hamiltonian,
-            noise=noise,
-            shots_per_group=shots_per_group,
-            seed=seed,
-        )
+        factory_kwargs: dict[str, Any] = {
+            "noise": noise,
+            "shots_per_group": shots_per_group,
+            "seed": seed,
+        }
+        # Only hand the engine to factories that take it, so backends
+        # registered against the pre-engine signature keep working.
+        factory_params = inspect.signature(factory).parameters
+        if "engine" in factory_params or any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in factory_params.values()
+        ):
+            factory_kwargs["engine"] = engine
+        self.energy = factory(program, hamiltonian, **factory_kwargs)
+        if gradient is not None:
+            from repro.vqe.gradient import GRADIENT_METHODS
+
+            try:
+                gradient_cls = GRADIENT_METHODS[gradient]
+            except KeyError:
+                raise ValueError(
+                    f"unknown gradient method {gradient!r}; valid methods: "
+                    f"{', '.join(sorted(GRADIENT_METHODS))}"
+                ) from None
+            if backend != "statevector":
+                raise ValueError(
+                    "analytic gradients require the statevector backend"
+                )
+            # Share the backend's evaluator so the gradient honors the
+            # engine selection and its evaluations are accounted.
+            self.gradient = gradient_cls(program, hamiltonian, energy=self.energy)
+        else:
+            self.gradient = None
         self.backend = backend
+        self.engine = engine
         self.program = program
         self.hamiltonian = hamiltonian
         self.method = method
@@ -142,6 +177,17 @@ class VQE:
             initial=initial,
             max_iterations=self.max_iterations,
             tolerance=self.tolerance,
+            gradient=self.gradient.gradient if self.gradient is not None else None,
+            value_and_gradient=(
+                self.gradient.value_and_gradient
+                if self.gradient is not None
+                # Fused objectives are only a win when value and gradient
+                # actually share the forward sweep (adjoint mode); shift-
+                # rule gradients stay a separate jac callback so scipy's
+                # line-search points don't pay full gradients.
+                and getattr(self.gradient, "fused_evaluation", False)
+                else None
+            ),
         )
         return VQEResult(
             energy=outcome.energy,

@@ -4,16 +4,28 @@ A scan runs VQE for one molecule across bond lengths under a given ansatz
 configuration (full UCCSD, compressed at some ratio, or random baseline)
 and records simulated energy, error against the exact ground state, and
 outer-loop iteration counts.
+
+Every inner-loop energy evaluation goes through the simulation engine
+selected by ``engine`` (see ``docs/performance.md``), and
+:func:`sweep_energies` exposes the batched fast path directly: K
+parameter sets stacked into one ``(K, 2**n)`` array that evolves per
+gate in a single vectorized NumPy call -- the primitive behind energy
+landscapes, multi-start screening, and the ``BENCH_sim.json`` speedup
+benchmark.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.ansatz.uccsd import build_uccsd_program
 from repro.chem.hamiltonian import build_molecule_hamiltonian
 from repro.core.compression import compress_ansatz, random_ansatz
 from repro.core.ir import PauliProgram
+from repro.pauli import PauliSum
 from repro.sim.exact import ground_state_energy
 from repro.sim.noise import DepolarizingNoiseModel
 from repro.vqe.runner import VQE
@@ -63,12 +75,36 @@ def _configure_program(
     raise ValueError(f"unknown configuration {configuration!r}")
 
 
+def sweep_energies(
+    program: PauliProgram,
+    hamiltonian: PauliSum,
+    parameter_sets: Sequence[Sequence[float]],
+    *,
+    engine: str = "batched",
+) -> np.ndarray:
+    """Energies of K parameter sets for one (program, Hamiltonian).
+
+    Under the default ``"batched"`` engine the K points are stacked into
+    a ``(K, 2**n)`` statevector array and every ansatz term is applied
+    to all points in one vectorized call; ``"inplace"``/``"legacy"``
+    evaluate sequentially (the comparison baselines in
+    ``BENCH_sim.json``).
+    """
+    from repro.vqe.energy import StatevectorEnergy
+
+    return StatevectorEnergy(program, hamiltonian, engine=engine).values(
+        np.asarray(parameter_sets, dtype=float)
+    )
+
+
 def bond_scan(
     molecule: str,
     bond_lengths: list[float],
     configurations: list[str],
     *,
     backend: str = "statevector",
+    engine: str = "inplace",
+    gradient: str | None = None,
     noise: DepolarizingNoiseModel | None = None,
     max_iterations: int = 200,
     seed: int = 23,
@@ -87,6 +123,8 @@ def bond_scan(
                 program,
                 problem.hamiltonian,
                 backend=backend,
+                engine=engine,
+                gradient=gradient,
                 noise=noise,
                 max_iterations=max_iterations,
             )

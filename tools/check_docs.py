@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Check that relative Markdown links in docs/ and README.md resolve.
+
+Usage: python tools/check_docs.py [root]
+
+Scans every ``*.md`` under the repo root's ``docs/`` directory plus
+``README.md``, extracts inline links ``[text](target)``, and verifies
+each non-external target (optionally with a ``#fragment``) exists on
+disk relative to the file containing the link.  Exits non-zero listing
+every broken link.  External (``http``/``https``/``mailto``) links are
+skipped -- CI should not depend on the network.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline Markdown links; deliberately simple (no reference-style links
+#: in this repo) and tolerant of titles: [text](target "title")
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_markdown_files(root: Path) -> list[Path]:
+    files = sorted((root / "docs").glob("*.md"))
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    return files
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    errors = []
+    text = path.read_text()
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            errors.append(
+                f"{path.relative_to(root)}: broken link '{target}' "
+                f"(resolved to {resolved})"
+            )
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    files = iter_markdown_files(root)
+    if not files:
+        print(f"no markdown files found under {root}", file=sys.stderr)
+        return 1
+    errors: list[str] = []
+    checked = 0
+    for path in files:
+        file_errors = check_file(path, root)
+        errors.extend(file_errors)
+        checked += 1
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        print(f"{len(errors)} broken link(s) across {checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"ok: {checked} markdown file(s), all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
