@@ -23,10 +23,14 @@ from repro.circuit.gates import (
     Measure,
 )
 from repro.circuit.circuit import Circuit
+from repro.circuit.dag import CircuitDAG, DAGNode, gate_axes
 
 __all__ = [
     "Gate",
     "Circuit",
+    "CircuitDAG",
+    "DAGNode",
+    "gate_axes",
     "CNOT",
     "SWAP",
     "H",

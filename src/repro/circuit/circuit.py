@@ -91,17 +91,15 @@ class Circuit:
         return self.counts().get("swap", 0)
 
     def depth(self) -> int:
-        """Circuit depth (barriers and measurements excluded)."""
-        levels = [0] * self.num_qubits
-        depth = 0
-        for gate in self.gates:
-            if gate.name in ("barrier", "measure"):
-                continue
-            level = 1 + max((levels[q] for q in gate.qubits), default=0)
-            for qubit in gate.qubits:
-                levels[qubit] = level
-            depth = max(depth, level)
-        return depth
+        """Circuit depth: the DAG critical path in gate counts.
+
+        Thin wrapper over :meth:`repro.circuit.dag.CircuitDAG.depth`;
+        barriers and measurements take no levels (but do synchronize
+        their wires).
+        """
+        from repro.circuit.dag import CircuitDAG
+
+        return CircuitDAG.from_circuit(self).depth()
 
     def two_qubit_pairs(self) -> list[tuple[int, int]]:
         """Ordered list of interacting qubit pairs (for mapping analysis)."""

@@ -29,11 +29,18 @@ from repro.compiler.synthesis import (
 from repro.compiler.layout import hierarchical_initial_layout, trivial_layout
 from repro.compiler.merge_to_root import MergeToRootCompiler, CompiledProgram
 from repro.compiler.sabre import SabreRouter, SabreResult
-from repro.compiler.metrics import mapping_overhead, OverheadReport
+from repro.compiler.cancellation import cancel_gates, cancellation_savings
+from repro.compiler.metrics import (
+    mapping_overhead,
+    OverheadReport,
+    ScheduleReport,
+    schedule_report,
+)
 from repro.compiler.verify import (
     logical_reference_state,
     compiled_state,
     assert_equivalent,
+    assert_routed_equivalent,
     states_match,
 )
 from repro.compiler.registry import (
@@ -61,10 +68,15 @@ __all__ = [
     "CompiledProgram",
     "SabreRouter",
     "SabreResult",
+    "cancel_gates",
+    "cancellation_savings",
     "mapping_overhead",
     "OverheadReport",
+    "ScheduleReport",
+    "schedule_report",
     "logical_reference_state",
     "compiled_state",
     "states_match",
     "assert_equivalent",
+    "assert_routed_equivalent",
 ]

@@ -1,19 +1,26 @@
-"""Peephole gate cancellation (Section VII, "deeper compiler optimization").
+"""DAG peephole gate cancellation (Section VII, "deeper compiler optimization").
 
 The paper points out that traditional passes like gate cancellation [40]
 can be specialized for variational chemistry circuits: consecutive Pauli
 string simulation circuits share basis gates and CNOT-ladder tails that
-cancel pairwise.  This pass implements the standard peephole rules:
+cancel pairwise.  This pass runs over the shared
+:class:`~repro.circuit.dag.CircuitDAG` IR and applies, to a fixed point:
 
-* adjacent self-inverse pairs annihilate (H-H, X-X, CNOT-CNOT, SWAP-SWAP
-  on the same qubits);
-* adjacent rotations about the same axis on the same qubit merge
-  (RZ(a) RZ(b) -> RZ(a+b)), vanishing when the combined angle is ~0;
-* the scan iterates to a fixed point, so cascades of enabled
-  cancellations are picked up.
+* self-inverse pairs annihilate (H-H, X-X, CNOT-CNOT, SWAP-SWAP on the
+  same qubits);
+* rotations about the same axis on the same qubit merge
+  (RZ(a) RZ(b) -> RZ(a+b)), vanishing when the combined angle is ~0.
 
-Commutation is handled conservatively: two gates are only considered
-adjacent when no intervening gate touches any shared qubit.
+With ``commute=False`` two gates must be *adjacent* -- no intervening
+gate touches a shared qubit -- reproducing the classic conservative
+pass.  With ``commute=True`` the partner search uses the DAG's
+commutation structure: a candidate pair also cancels when every gate
+between them acts on the shared wires with the *same* wire-action
+(Z-like gates slide through CNOT controls, X-like gates through CNOT
+targets), so e.g. ``CX(0,1) RZ(0) CX(0,1)`` collapses to ``RZ(0)`` and
+two CNOT waves onto a shared target cancel across each other's
+spectator CNOTs.  Every rewrite preserves the circuit unitary exactly
+(not just up to global phase).
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from __future__ import annotations
 import math
 
 from repro.circuit import Circuit
+from repro.circuit.dag import CircuitDAG, DAGNode
 from repro.circuit.gates import Gate
 
 _SELF_INVERSE = {"h", "x", "y", "z", "cx", "cz", "swap"}
@@ -37,64 +45,104 @@ def _symmetric_pair_equal(a: Gate, b: Gate) -> bool:
     return a.qubits == b.qubits
 
 
-def cancel_gates(circuit: Circuit) -> Circuit:
+def cancel_gates(circuit: Circuit, *, commute: bool = False) -> Circuit:
     """Apply cancellation until a fixed point; returns a new circuit."""
     gates = list(circuit.gates)
     changed = True
     while changed:
-        gates, changed = _one_pass(gates)
+        gates, changed = _one_pass(gates, circuit.num_qubits, commute)
     return Circuit(circuit.num_qubits, gates)
 
 
-def _one_pass(gates: list[Gate]) -> tuple[list[Gate], bool]:
-    result: list[Gate] = []
+def _one_pass(
+    gates: list[Gate], num_qubits: int, commute: bool
+) -> tuple[list[Gate], bool]:
+    """One sweep over the DAG; cancellations cascade within the sweep
+    because removed nodes are skipped by later partner searches."""
+    dag = CircuitDAG(num_qubits, commute=commute)
+    dag.extend(gates)
+    removed: set[int] = set()
+    replaced: dict[int, Gate] = {}
     changed = False
-    for gate in gates:
-        if gate.name == "barrier":
-            result.append(gate)
+    for node in dag.nodes:
+        gate = node.gate
+        if gate.name == "barrier" or gate.name == "measure":
             continue
-        partner_index = _find_adjacent_partner(result, gate)
-        if partner_index is None:
-            result.append(gate)
+        if gate.name not in _SELF_INVERSE and gate.name not in _ROTATIONS:
             continue
-        partner = result[partner_index]
-        if gate.name in _SELF_INVERSE:
-            result.pop(partner_index)
-            changed = True
+        partner = _find_partner(dag, node, removed)
+        if partner is None:
             continue
-        # Rotation merge.
-        merged_angle = partner.params[0] + gate.params[0]
-        result.pop(partner_index)
         changed = True
-        if abs(math.remainder(merged_angle, 4.0 * math.pi)) > _ANGLE_EPSILON:
-            result.insert(partner_index, Gate(gate.name, gate.qubits, (merged_angle,)))
-    return result, changed
-
-
-def _find_adjacent_partner(emitted: list[Gate], gate: Gate) -> int | None:
-    """Index of a cancelable partner with no blocker in between."""
-    cancelable = gate.name in _SELF_INVERSE or gate.name in _ROTATIONS
-    if not cancelable:
-        return None
-    qubits = set(gate.qubits)
-    for index in range(len(emitted) - 1, -1, -1):
-        previous = emitted[index]
-        if previous.name == "barrier" and qubits & set(previous.qubits):
-            return None
-        if not qubits & set(previous.qubits):
+        if gate.name in _SELF_INVERSE:
+            removed.add(node.index)
+            removed.add(partner.index)
             continue
-        is_partner = (
-            _symmetric_pair_equal(previous, gate)
-            if gate.name in _SELF_INVERSE
-            else previous.name == gate.name and previous.qubits == gate.qubits
-        )
-        return index if is_partner else None
+        # Rotation merge at the partner's (earlier) position: everything
+        # between them commutes with the rotation, so either slot is valid.
+        earlier = replaced.get(partner.index, partner.gate)
+        merged_angle = earlier.params[0] + gate.params[0]
+        removed.add(node.index)
+        if abs(math.remainder(merged_angle, 4.0 * math.pi)) > _ANGLE_EPSILON:
+            replaced[partner.index] = Gate(gate.name, gate.qubits, (merged_angle,))
+        else:
+            removed.add(partner.index)
+    if not changed:
+        return gates, False
+    survivors = [
+        replaced.get(node.index, node.gate)
+        for node in dag.nodes
+        if node.index not in removed
+    ]
+    return survivors, True
+
+
+def _find_partner(dag: CircuitDAG, node: DAGNode, removed: set[int]) -> DAGNode | None:
+    """Nearest earlier cancelable partner reachable through commuting gates.
+
+    Walks ``node``'s first wire backward, skipping gates whose
+    wire-action matches (they commute with ``node`` there) and stopping
+    at the first conflicting gate.  A partner found on that wire must
+    additionally be reachable on *every* wire of the gate: in the same
+    commuting group, or wire-adjacent once removed gates are skipped.
+    """
+    gate = node.gate
+    wire_qubit = gate.qubits[0]
+    axis = node.axis_on(wire_qubit)
+    wire = dag.wire(wire_qubit)
+    for position in range(node.wire_position(wire_qubit) - 1, -1, -1):
+        candidate = wire[position]
+        if candidate.index in removed:
+            continue
+        if _symmetric_pair_equal(candidate.gate, gate):
+            if all(_reachable(dag, candidate, node, qubit, removed) for qubit in gate.qubits):
+                return candidate
+            return None
+        candidate_axis = candidate.axis_on(wire_qubit)
+        if axis is None or candidate_axis is None or candidate_axis != axis:
+            return None  # conflicting gate blocks the wire
     return None
 
 
-def cancellation_savings(circuit: Circuit) -> dict[str, int]:
+def _reachable(
+    dag: CircuitDAG, partner: DAGNode, node: DAGNode, qubit: int, removed: set[int]
+) -> bool:
+    """Partner and node meet on ``qubit``'s wire: same commuting group,
+    or adjacent once already-removed gates are skipped."""
+    if partner.group_on(qubit) == node.group_on(qubit):
+        return True
+    wire = dag.wire(qubit)
+    for position in range(node.wire_position(qubit) - 1, -1, -1):
+        live = wire[position]
+        if live.index in removed:
+            continue
+        return live is partner
+    return False
+
+
+def cancellation_savings(circuit: Circuit, *, commute: bool = False) -> dict[str, int]:
     """Gate/CNOT counts before and after cancellation (for reports)."""
-    optimized = cancel_gates(circuit)
+    optimized = cancel_gates(circuit, commute=commute)
     return {
         "gates_before": circuit.num_gates(),
         "gates_after": optimized.num_gates(),

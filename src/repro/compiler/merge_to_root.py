@@ -46,10 +46,11 @@ can swap in SABRE by name.)
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.circuit import Circuit
+from repro.circuit.dag import CircuitDAG
 from repro.circuit.gates import CNOT, Gate, H, RX, RZ, SWAP, X
 from repro.core.ir import PauliProgram
 from repro.hardware.coupling import CouplingGraph
@@ -67,6 +68,7 @@ class CompiledProgram:
     num_swaps: int
     device: str
     synthesized_cnots: int = 0        # CNOTs from the Pauli trees themselves
+    dag: CircuitDAG | None = field(default=None, repr=False)
 
     @property
     def overhead_cnots(self) -> int:
@@ -119,10 +121,13 @@ class MergeToRootCompiler:
         if len(occupant) != len(position):
             raise ValueError("initial layout maps two logical qubits together")
 
-        circuit = Circuit(self.graph.num_qubits)
+        # Emit through the shared DAG builder: the compiled artifact then
+        # carries its wire-dependency structure for scheduling metrics,
+        # and the emission order is preserved by ``to_circuit``.
+        builder = CircuitDAG(self.graph.num_qubits)
         if include_initial_state:
             for logical in program.initial_occupations:
-                circuit.append(X(position[logical]))
+                builder.append(X(position[logical]))
 
         # Suffix occurrence counts for the lookahead swap rule.
         future = self._future_counts(program)
@@ -136,20 +141,21 @@ class MergeToRootCompiler:
                 continue
             swaps = self._route(support, position, occupant, future, index)
             for a, b in swaps:
-                circuit.append(SWAP(a, b))
+                builder.append(SWAP(a, b))
             num_swaps += len(swaps)
             synthesized += self._synthesize_string(
-                circuit, pauli, angle, position
+                builder, pauli, angle, position
             )
 
         final_layout = dict(position)
         return CompiledProgram(
-            circuit=circuit,
+            circuit=builder.to_circuit(),
             initial_layout=initial_layout,
             final_layout=final_layout,
             num_swaps=num_swaps,
             device=self.graph.name,
             synthesized_cnots=synthesized,
+            dag=builder,
         )
 
     # ------------------------------------------------------------------
@@ -264,7 +270,7 @@ class MergeToRootCompiler:
     # ------------------------------------------------------------------
     def _synthesize_string(
         self,
-        circuit: Circuit,
+        builder: CircuitDAG,
         pauli,
         angle: float,
         position: dict[int, int],
@@ -282,7 +288,7 @@ class MergeToRootCompiler:
             elif op == "Y":
                 basis_pre.append(RX(_HALF_PI, physical))
                 basis_post.append(RX(-_HALF_PI, physical))
-        circuit.extend(basis_pre)
+        builder.extend(basis_pre)
 
         nodes = sorted(
             (position[logical] for logical in support),
@@ -295,10 +301,10 @@ class MergeToRootCompiler:
             if parent is None or not self._in_nodes(parent, nodes):
                 raise RuntimeError("support subtree not connected after routing")
             cnots.append(CNOT(node, parent))
-        circuit.extend(cnots)
-        circuit.append(RZ(-2.0 * angle, root))
-        circuit.extend(reversed(cnots))
-        circuit.extend(basis_post)
+        builder.extend(cnots)
+        builder.append(RZ(-2.0 * angle, root))
+        builder.extend(reversed(cnots))
+        builder.extend(basis_post)
         return 2 * len(cnots)
 
     @staticmethod

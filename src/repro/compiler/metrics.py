@@ -2,7 +2,11 @@
 
 "Mapping overhead" = CNOTs added on top of the unmapped chain-synthesized
 circuit.  Every SWAP contributes three CNOTs.  The module also provides a
-one-call comparison of the three flows the paper tabulates.
+one-call comparison of the three flows the paper tabulates, plus the
+scheduling dimension the shared DAG IR opens up: ASAP-scheduled depth and
+latency-weighted critical-path duration
+(:func:`schedule_report`, per-gate latencies from
+:mod:`repro.hardware.latency`).
 """
 
 from __future__ import annotations
@@ -10,11 +14,43 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.circuit.circuit import Circuit
+from repro.circuit.dag import CircuitDAG
 from repro.compiler.merge_to_root import MergeToRootCompiler
 from repro.compiler.sabre import SabreRouter
 from repro.compiler.synthesis import synthesize_program_chain
 from repro.core.ir import PauliProgram
 from repro.hardware.coupling import CouplingGraph
+from repro.hardware.latency import DEFAULT_LATENCY, GateLatencyModel
+
+
+@dataclass
+class ScheduleReport:
+    """ASAP-schedule metrics of one physical circuit.
+
+    ``depth`` counts the listed circuit as-is (SWAPs one level each);
+    ``scheduled_depth`` and ``duration_ns`` are computed on the
+    SWAP-decomposed circuit's wire-dependency DAG, so a routing SWAP
+    costs three CNOT levels / latencies, matching the paper's CNOT
+    accounting.
+    """
+
+    depth: int
+    scheduled_depth: int
+    duration_ns: float
+
+
+def schedule_report(
+    circuit: Circuit, latency: GateLatencyModel = DEFAULT_LATENCY
+) -> ScheduleReport:
+    """Depth / critical-path metrics of a compiled circuit."""
+    decomposed = circuit.decompose_swaps()
+    dag = CircuitDAG.from_circuit(decomposed)
+    return ScheduleReport(
+        depth=circuit.depth(),
+        scheduled_depth=dag.depth(),
+        duration_ns=dag.duration(latency),
+    )
 
 
 @dataclass
@@ -26,6 +62,8 @@ class OverheadReport:
     original_cnots: int
     overhead_cnots: int
     num_swaps: int
+    schedule: ScheduleReport | None = None
+    circuit: Circuit | None = None
 
     @property
     def total_cnots(self) -> int:
@@ -45,11 +83,18 @@ def mapping_overhead(
     *,
     parameters: Sequence[float] | None = None,
     sabre_seed: int = 11,
+    schedule: bool = False,
+    commute: bool = False,
+    keep_circuits: bool = False,
 ) -> dict[str, OverheadReport]:
     """Compare MtR-on-XTree, SABRE-on-XTree and SABRE-on-Grid.
 
     Returns a dict keyed "mtr_xtree", "sabre_xtree" and (when a grid is
-    given) "sabre_grid" -- the three columns of Table II.
+    given) "sabre_grid" -- the three columns of Table II.  With
+    ``schedule=True`` each report also carries the ASAP schedule metrics
+    of its physical circuit; ``commute=True`` lets SABRE route over the
+    commutation-aware DAG frontier; ``keep_circuits=True`` attaches each
+    flow's physical circuit (for downstream peephole studies).
     """
     if parameters is None:
         parameters = [0.0] * program.num_parameters
@@ -63,18 +108,22 @@ def mapping_overhead(
         original_cnots=original,
         overhead_cnots=compiled.overhead_cnots,
         num_swaps=compiled.num_swaps,
+        schedule=schedule_report(compiled.circuit) if schedule else None,
+        circuit=compiled.circuit if keep_circuits else None,
     )
 
     chain = synthesize_program_chain(program, parameters)
     for key, graph in [("sabre_xtree", xtree_graph), ("sabre_grid", grid_graph)]:
         if graph is None:
             continue
-        routed = SabreRouter(graph, seed=sabre_seed).run(chain)
+        routed = SabreRouter(graph, seed=sabre_seed, commute=commute).run(chain)
         reports[key] = OverheadReport(
             flow="SABRE",
             device=graph.name,
             original_cnots=original,
             overhead_cnots=routed.overhead_cnots,
             num_swaps=routed.num_swaps,
+            schedule=schedule_report(routed.circuit) if schedule else None,
+            circuit=routed.circuit if keep_circuits else None,
         )
     return reports

@@ -45,6 +45,7 @@ class CompilerAdapter:
         parameters: Sequence[float] | None = None,
         initial_layout: dict[int, int] | None = None,
         seed: int = 11,
+        commute: bool = False,
     ):
         raise NotImplementedError
 
@@ -66,7 +67,11 @@ class MergeToRootAdapter(CompilerAdapter):
         parameters: Sequence[float] | None = None,
         initial_layout: dict[int, int] | None = None,
         seed: int = 11,
+        commute: bool = False,
     ):
+        # MtR synthesizes each string against the live mapping, so its
+        # emission has no commutation freedom to exploit; the knob is
+        # accepted for interface uniformity and ignored.
         return MergeToRootCompiler(device).compile(
             program, parameters, initial_layout=initial_layout
         )
@@ -85,11 +90,14 @@ class SabreAdapter(CompilerAdapter):
         parameters: Sequence[float] | None = None,
         initial_layout: dict[int, int] | None = None,
         seed: int = 11,
+        commute: bool = False,
     ):
         if parameters is None:
             parameters = [0.0] * program.num_parameters
         chain = synthesize_program_chain(program, parameters)
-        return SabreRouter(device, seed=seed).run(chain, initial_layout=initial_layout)
+        return SabreRouter(device, seed=seed, commute=commute).run(
+            chain, initial_layout=initial_layout
+        )
 
 
 CompilerFactory = Callable[[], CompilerAdapter]

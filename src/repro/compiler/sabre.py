@@ -12,16 +12,24 @@ a decay factor discourages ping-ponging the same qubit.  Initial mapping
 quality is improved with forward-backward traversal passes, as in the
 original paper.
 
+The dependency structure comes from the shared circuit DAG IR
+(:class:`repro.circuit.dag.CircuitDAG`): the router's front layer and
+extended set are frontier queries over that DAG.  With ``commute=True``
+the DAG drops edges between commuting gates (CNOTs sharing a control,
+rotations sliding through controls, ...), so the frontier is larger and
+the router may satisfy gates in any commutation-valid order.
+
 SABRE is general-purpose: it sees only gates, so on a sparse X-Tree it
 pays the full price the co-designed Merge-to-Root flow avoids.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 import numpy as np
 
 from repro.circuit import Circuit
+from repro.circuit.dag import CircuitDAG, DAGNode
 from repro.circuit.gates import Gate, SWAP
 from repro.hardware.coupling import CouplingGraph
 
@@ -40,6 +48,7 @@ class SabreResult:
     final_layout: dict[int, int]
     num_swaps: int
     device: str
+    dag: CircuitDAG | None = field(default=None, repr=False)
 
     @property
     def overhead_cnots(self) -> int:
@@ -50,23 +59,13 @@ class SabreResult:
         return self.circuit.num_cnots()
 
 
-class _GateNode:
-    """Dependency bookkeeping for one gate."""
-
-    __slots__ = ("index", "gate", "remaining")
-
-    def __init__(self, index: int, gate: Gate, remaining: int):
-        self.index = index
-        self.gate = gate
-        self.remaining = remaining  # unsatisfied predecessor count
-
-
 class SabreRouter:
     """Route logical circuits onto a coupling graph with SWAP insertion."""
 
-    def __init__(self, graph: CouplingGraph, *, seed: int = 11):
+    def __init__(self, graph: CouplingGraph, *, seed: int = 11, commute: bool = False):
         self.graph = graph
         self.distance = graph.distance_matrix().astype(float)
+        self.commute = commute
         self._rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
@@ -91,13 +90,14 @@ class SabreRouter:
             # Forward pass: discard the routed gates, keep the final layout.
             layout = self._route_once(circuit, layout, emit=False)[1]
             layout = self._route_once(reversed_circuit, layout, emit=False)[1]
-        routed, final_layout, swaps = self._route_once(circuit, layout, emit=True)
+        routed_dag, final_layout, swaps = self._route_once(circuit, layout, emit=True)
         return SabreResult(
-            circuit=routed,
+            circuit=routed_dag.to_circuit(),
             initial_layout=layout,
             final_layout=final_layout,
             num_swaps=swaps,
             device=self.graph.name,
+            dag=routed_dag,
         )
 
     # ------------------------------------------------------------------
@@ -113,25 +113,27 @@ class SabreRouter:
         position = dict(initial_layout)
         occupant = {p: l for l, p in position.items()}
 
-        nodes, successors = self._build_dag(circuit)
-        front = [node for node in nodes if node.remaining == 0]
-        output = Circuit(self.graph.num_qubits) if emit else None
+        dag = CircuitDAG.from_circuit(circuit, commute=self.commute)
+        remaining = [node.num_predecessors for node in dag.nodes]
+        front = [node for node in dag.nodes if remaining[node.index] == 0]
+        # Emit through a DAG builder so the routed artifact carries its
+        # own wire-dependency structure for the scheduling metrics.
+        output = CircuitDAG(self.graph.num_qubits) if emit else None
         num_swaps = 0
         decay = np.ones(self.graph.num_qubits)
         since_reset = 0
         swaps_since_progress = 0
         stall_limit = 6 * self.graph.num_qubits
 
-        def execute(node: _GateNode) -> None:
+        def execute(node: DAGNode) -> None:
             if emit:
                 remapped = node.gate.remap(
                     {q: position[q] for q in node.gate.qubits}
                 )
                 output.append(remapped)
-            for successor_index in successors[node.index]:
-                successor = nodes[successor_index]
-                successor.remaining -= 1
-                if successor.remaining == 0:
+            for successor in node.successors:
+                remaining[successor.index] -= 1
+                if remaining[successor.index] == 0:
                     front.append(successor)
 
         while front:
@@ -139,7 +141,7 @@ class SabreRouter:
             progressed = True
             while progressed:
                 progressed = False
-                still_blocked: list[_GateNode] = []
+                still_blocked: list[DAGNode] = []
                 for node in front:
                     gate = node.gate
                     if len(gate.qubits) < 2 or gate.name == "barrier":
@@ -164,10 +166,10 @@ class SabreRouter:
             # heuristic has stalled (rare oscillation), fall back to
             # deterministic shortest-path routing of the first gate.
             if swaps_since_progress >= stall_limit:
-                a_phys, b_phys = self._escape_swap(front[0], position)
+                a_phys, b_phys = self._escape_swap(front[0].gate, position)
             else:
                 candidates = self._candidate_swaps(front, position)
-                extended = self._extended_set(front, nodes, successors)
+                extended = self._extended_set(front)
                 a_phys, b_phys = self._best_swap(
                     candidates, front, extended, position, decay
                 )
@@ -191,25 +193,8 @@ class SabreRouter:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    @staticmethod
-    def _build_dag(circuit: Circuit):
-        nodes: list[_GateNode] = []
-        successors: list[list[int]] = []
-        last_on_qubit: dict[int, int] = {}
-        for index, gate in enumerate(circuit.gates):
-            predecessors = set()
-            for qubit in gate.qubits:
-                if qubit in last_on_qubit:
-                    predecessors.add(last_on_qubit[qubit])
-                last_on_qubit[qubit] = index
-            nodes.append(_GateNode(index, gate, len(predecessors)))
-            successors.append([])
-            for predecessor in predecessors:
-                successors[predecessor].append(index)
-        return nodes, successors
-
     def _candidate_swaps(
-        self, front: list[_GateNode], position: dict[int, int]
+        self, front: list[DAGNode], position: dict[int, int]
     ) -> list[tuple[int, int]]:
         involved: set[int] = set()
         for node in front:
@@ -222,23 +207,23 @@ class SabreRouter:
         }
         return sorted(candidates)
 
-    def _extended_set(self, front, nodes, successors) -> list[_GateNode]:
-        extended: list[_GateNode] = []
-        frontier = [node.index for node in front]
-        seen = set(frontier)
+    def _extended_set(self, front: list[DAGNode]) -> list[DAGNode]:
+        """Lookahead window: the next two-qubit gates past the frontier."""
+        extended: list[DAGNode] = []
+        frontier = list(front)
+        seen = {node.index for node in front}
         while frontier and len(extended) < _LOOKAHEAD_SIZE:
-            next_frontier: list[int] = []
-            for index in frontier:
-                for successor_index in successors[index]:
-                    if successor_index in seen:
+            next_frontier: list[DAGNode] = []
+            for node in frontier:
+                for successor in node.successors:
+                    if successor.index in seen:
                         continue
-                    seen.add(successor_index)
-                    successor = nodes[successor_index]
+                    seen.add(successor.index)
                     if len(successor.gate.qubits) == 2:
                         extended.append(successor)
                         if len(extended) >= _LOOKAHEAD_SIZE:
                             break
-                    next_frontier.append(successor_index)
+                    next_frontier.append(successor)
                 if len(extended) >= _LOOKAHEAD_SIZE:
                     break
             frontier = next_frontier
@@ -247,8 +232,8 @@ class SabreRouter:
     def _best_swap(
         self,
         candidates: list[tuple[int, int]],
-        front: list[_GateNode],
-        extended: list[_GateNode],
+        front: list[DAGNode],
+        extended: list[DAGNode],
         position: dict[int, int],
         decay: np.ndarray,
     ) -> tuple[int, int]:
@@ -278,11 +263,11 @@ class SabreRouter:
         return best
 
     def _escape_swap(
-        self, node: _GateNode, position: dict[int, int]
+        self, gate: Gate, position: dict[int, int]
     ) -> tuple[int, int]:
         """First hop of the shortest path between a blocked gate's qubits."""
-        source = position[node.gate.qubits[0]]
-        target = position[node.gate.qubits[1]]
+        source = position[gate.qubits[0]]
+        target = position[gate.qubits[1]]
         for neighbor in sorted(self.graph.neighbors(source)):
             if self.distance[neighbor, target] < self.distance[source, target]:
                 return (min(source, neighbor), max(source, neighbor))
@@ -305,7 +290,7 @@ class SabreRouter:
 
 
 def route_with_sabre(
-    circuit: Circuit, graph: CouplingGraph, *, seed: int = 11
+    circuit: Circuit, graph: CouplingGraph, *, seed: int = 11, commute: bool = False
 ) -> SabreResult:
     """One-call convenience wrapper."""
-    return SabreRouter(graph, seed=seed).run(circuit)
+    return SabreRouter(graph, seed=seed, commute=commute).run(circuit)

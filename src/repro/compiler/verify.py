@@ -83,3 +83,37 @@ def assert_equivalent(
         raise AssertionError(
             f"compiled circuit deviates from reference (|overlap| = {overlap:.6f})"
         )
+
+
+def assert_routed_equivalent(
+    program: PauliProgram,
+    parameters: Sequence[float],
+    result,
+    *,
+    circuit: Circuit | None = None,
+    tolerance: float = 1e-8,
+) -> None:
+    """Verify a compiled result object, un-permuting through its layout.
+
+    Both compilation flows leave the logical qubits *somewhere else* than
+    where they started: Merge-to-Root drags them toward the root and
+    SABRE's routing SWAPs migrate them across the device.  ``result`` is
+    any object satisfying the compiled-result protocol
+    (:class:`~repro.compiler.merge_to_root.CompiledProgram` or
+    :class:`~repro.compiler.sabre.SabreResult`); its ``final_layout``
+    records where each logical qubit ended up, so the reference state is
+    transported through that permutation before comparing -- no manual
+    un-permutation at the call site.
+
+    ``circuit`` optionally substitutes an optimized rewrite of
+    ``result.circuit`` (e.g. after peephole cancellation, which preserves
+    the unitary and therefore the final permutation).
+    """
+    target = circuit if circuit is not None else result.circuit
+    assert_equivalent(
+        program,
+        parameters,
+        target,
+        result.final_layout,
+        tolerance=tolerance,
+    )

@@ -54,6 +54,15 @@ class PipelineConfig:
     ``"inplace"``/``"batched"``/``"legacy"``) used by the optional
     :class:`Energy` stage and anything else that simulates the staged
     ansatz.
+
+    ``dag`` and ``commute`` control the shared circuit DAG IR
+    (:class:`repro.circuit.dag.CircuitDAG`): with ``dag`` on, the
+    :class:`Metrics` stage reports ASAP-scheduled depth and
+    critical-path duration of the compiled circuit; with ``commute`` on,
+    the :class:`Route` stage hands the commutation-aware frontier to the
+    compiler and the :class:`Compress` stage reports how many CNOTs the
+    adjacency vs. commutation-aware peephole passes remove from the
+    compressed circuit.
     """
 
     molecule: str = "H2"
@@ -63,6 +72,8 @@ class PipelineConfig:
     compiler: str = "mtr"
     layout: str = "auto"
     engine: str = "inplace"
+    dag: bool = True
+    commute: bool = False
     decay_base: float = 2.0
     seed: int = 11
     label: str | None = None
@@ -155,7 +166,13 @@ class BuildAnsatz(Pass):
 
 
 class Compress(Pass):
-    """Importance-based ansatz compression (Section III-B)."""
+    """Importance-based ansatz compression (Section III-B).
+
+    With ``config.commute`` on, also chain-synthesizes the compressed
+    program and records how many CNOTs the adjacency-only vs. the
+    commutation-aware peephole cancellation remove (the Section VII
+    "deeper optimization" numbers) in the metrics.
+    """
 
     name = "compress"
 
@@ -168,6 +185,21 @@ class Compress(Pass):
             context.config.ratio,
             decay_base=context.config.decay_base,
         )
+        if context.config.commute:
+            from repro.compiler.cancellation import cancel_gates
+            from repro.compiler.synthesis import synthesize_program_chain
+
+            program = context.compressed.program
+            chain = synthesize_program_chain(
+                program, [0.0] * program.num_parameters
+            )
+            context.metrics["chain_cnots"] = int(chain.num_cnots())
+            context.metrics["chain_cnots_adjacency"] = int(
+                cancel_gates(chain).num_cnots()
+            )
+            context.metrics["chain_cnots_commute"] = int(
+                cancel_gates(chain, commute=True).num_cnots()
+            )
 
 
 class InitialLayout(Pass):
@@ -219,6 +251,7 @@ class Route(Pass):
             context.device,
             initial_layout=context.initial_layout,
             seed=context.config.seed,
+            commute=context.config.commute,
         )
 
 
@@ -335,4 +368,11 @@ def collect_metrics(context: PipelineContext) -> dict[str, Any]:
         metrics["overhead_cnots"] = int(context.compiled.overhead_cnots)
         metrics["num_swaps"] = int(context.compiled.num_swaps)
         metrics["total_cnots"] = int(context.compiled.total_cnots)
+        if config.dag:
+            from repro.compiler.metrics import schedule_report
+
+            schedule = schedule_report(context.compiled.circuit)
+            metrics["depth"] = int(schedule.depth)
+            metrics["scheduled_depth"] = int(schedule.scheduled_depth)
+            metrics["duration_ns"] = float(schedule.duration_ns)
     return metrics

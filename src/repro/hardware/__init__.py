@@ -8,6 +8,8 @@
   17-qubit lattice with 24 connections) and generic 2D grids;
 * :mod:`repro.hardware.frequency`  -- fixed-frequency transmon model:
   frequency allocation and Brink-style collision conditions;
+* :mod:`repro.hardware.latency`    -- per-gate durations (CR-transmon
+  defaults) feeding the DAG scheduled-depth metrics;
 * :mod:`repro.hardware.yield_model`-- Monte-Carlo fabrication yield
   (Figure 11 methodology, following Li/Ding/Xie ASPLOS'20 [56]);
 * :mod:`repro.hardware.registry`   -- string-keyed device lookup
@@ -19,6 +21,7 @@ from repro.hardware.coupling import CouplingGraph
 from repro.hardware.xtree import xtree, XTREE_SIZES
 from repro.hardware.grid import grid17q, grid
 from repro.hardware.frequency import allocate_frequencies, CollisionModel
+from repro.hardware.latency import GateLatencyModel, DEFAULT_LATENCY
 from repro.hardware.yield_model import estimate_yield, YieldEstimate
 from repro.hardware.registry import get_device, list_devices, register_device
 
@@ -33,6 +36,8 @@ __all__ = [
     "register_device",
     "allocate_frequencies",
     "CollisionModel",
+    "GateLatencyModel",
+    "DEFAULT_LATENCY",
     "estimate_yield",
     "YieldEstimate",
 ]

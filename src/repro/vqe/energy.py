@@ -177,7 +177,6 @@ class SamplingEnergy:
             self.program.bound_terms(parameters), self._reference
         )
         total = 0.0
-        n = self.program.num_qubits
         for group in self.groups:
             if group.is_identity_group():
                 total += sum(c.real for c, _ in group.terms)

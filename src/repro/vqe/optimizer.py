@@ -97,7 +97,9 @@ def minimize_energy(
 
             fun, jac = fused, True
         elif gradient is not None:
-            jac = lambda parameters: np.asarray(gradient(parameters), dtype=float)
+
+            def jac(parameters: np.ndarray) -> np.ndarray:
+                return np.asarray(gradient(parameters), dtype=float)
 
     result = minimize(fun, x0, method=method, jac=jac, options=options)
     iterations = int(getattr(result, "nit", 0) or 0)

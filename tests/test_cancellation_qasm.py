@@ -12,15 +12,17 @@ from repro.circuit.gates import (
     Barrier,
     CNOT,
     CZ,
-    Gate,
     H,
     Measure,
     RX,
+    RY,
     RZ,
     S,
     SDG,
     SWAP,
     X,
+    Y,
+    Z,
 )
 from repro.circuit.qasm import from_qasm, to_qasm
 from repro.compiler.cancellation import cancel_gates, cancellation_savings
@@ -114,6 +116,93 @@ class TestCancellation:
         assert savings["cnots_after"] < savings["cnots_before"]
 
 
+class TestCommutationAwareCancellation:
+    """The DAG peephole with ``commute=True``: partners cancel across
+    gates that commute on the shared wires."""
+
+    def test_cnot_pair_across_control_rotation(self):
+        circuit = Circuit(2, [CNOT(0, 1), RZ(0.5, 0), CNOT(0, 1)])
+        assert [g.name for g in cancel_gates(circuit, commute=True)] == ["rz"]
+        assert len(cancel_gates(circuit)) == 3  # adjacency pass is blocked
+
+    def test_cnot_pair_across_shared_control_cnot(self):
+        circuit = Circuit(3, [CNOT(0, 1), CNOT(0, 2), CNOT(0, 1)])
+        optimized = cancel_gates(circuit, commute=True)
+        assert [g.qubits for g in optimized] == [(0, 2)]
+        assert len(cancel_gates(circuit)) == 3
+
+    def test_x_pair_across_target(self):
+        circuit = Circuit(2, [X(1), CNOT(0, 1), X(1)])
+        assert [g.name for g in cancel_gates(circuit, commute=True)] == ["cx"]
+
+    def test_rotation_merge_through_control(self):
+        circuit = Circuit(2, [RZ(0.3, 0), CNOT(0, 1), RZ(0.4, 0)])
+        optimized = cancel_gates(circuit, commute=True)
+        assert [g.name for g in optimized] == ["rz", "cx"]
+        assert optimized.gates[0].params[0] == pytest.approx(0.7)
+
+    def test_rotation_annihilation_through_control(self):
+        circuit = Circuit(2, [RZ(0.3, 0), CNOT(0, 1), RZ(-0.3, 0)])
+        assert [g.name for g in cancel_gates(circuit, commute=True)] == ["cx"]
+
+    def test_hadamard_still_blocks(self):
+        circuit = Circuit(2, [H(0), CNOT(0, 1), H(0)])
+        assert len(cancel_gates(circuit, commute=True)) == 3
+
+    def test_central_rotation_protects_entangler(self):
+        """The Pauli-evolution core must never collapse: RZ sits on the
+        CNOT *target*, which does not commute."""
+        circuit = Circuit(2, [CNOT(0, 1), RZ(0.7, 1), CNOT(0, 1)])
+        assert len(cancel_gates(circuit, commute=True)) == 3
+
+    def test_sibling_cnot_waves_cancel(self):
+        """The Merge-to-Root win: two leaves-to-root waves onto a shared
+        target cancel across the sibling CNOT blocked by a basis change."""
+        circuit = Circuit(
+            3,
+            [CNOT(2, 0), CNOT(1, 0), H(1), CNOT(1, 0), CNOT(2, 0)],
+        )
+        optimized = cancel_gates(circuit, commute=True)
+        assert optimized.num_cnots() == 2
+        assert cancel_gates(circuit).num_cnots() == 4
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 13), min_size=0, max_size=16))
+    def test_unitary_preserved_with_commutation(self, opcodes):
+        vocabulary = [
+            H(0), H(1), X(0), X(2), S(1), SDG(1),
+            CNOT(0, 1), CNOT(1, 0), CNOT(0, 2), CNOT(1, 2), SWAP(0, 1),
+            RZ(0.37, 0), RZ(-0.8, 2), RX(-1.1, 1),
+        ]
+        circuit = Circuit(3, [vocabulary[i] for i in opcodes])
+        optimized = cancel_gates(circuit, commute=True)
+        adjacency = cancel_gates(circuit)
+        assert len(optimized) <= len(adjacency)
+        np.testing.assert_allclose(
+            unitary_of(circuit), unitary_of(optimized), atol=1e-9
+        )
+
+    def test_mtr_circuit_strictly_improves_and_verifies(self):
+        """Commutation removes strictly more CNOTs than adjacency on a
+        compiled Table II molecule, and the optimized physical circuit
+        stays statevector-equivalent through the routing permutation."""
+        from repro.ansatz import build_uccsd_program
+        from repro.chem import build_molecule_hamiltonian
+        from repro.compiler import MergeToRootCompiler, assert_routed_equivalent
+        from repro.hardware import xtree
+
+        problem = build_molecule_hamiltonian("H2")
+        program = build_uccsd_program(problem).program
+        params = np.random.default_rng(3).normal(size=program.num_parameters) * 0.3
+        compiled = MergeToRootCompiler(xtree(5)).compile(program, params)
+        physical = compiled.circuit.decompose_swaps()
+        adjacency = cancel_gates(physical)
+        commuting = cancel_gates(physical, commute=True)
+        assert commuting.num_cnots() < adjacency.num_cnots()
+        assert_routed_equivalent(program, params, compiled, circuit=commuting)
+        assert_routed_equivalent(program, params, compiled, circuit=adjacency)
+
+
 class TestQasm:
     def test_export_contains_header_and_gates(self):
         circuit = Circuit(2, [H(0), CNOT(0, 1), RZ(0.5, 1), Measure(0)])
@@ -168,3 +257,47 @@ class TestQasm:
         result = co_optimize("H2", ratio=0.5)
         text = to_qasm(result.compiled.circuit)
         assert from_qasm(text).num_qubits == 17
+
+
+def _every_gate_kind_circuit() -> Circuit:
+    """One instance of every gate kind in :mod:`repro.circuit.gates`."""
+    return Circuit(
+        3,
+        [
+            H(0), X(1), Y(2), Z(0), S(1), SDG(2),
+            RX(0.25, 0), RY(-1.5, 1), RZ(3.75e-3, 2),
+            CNOT(0, 1), CZ(1, 2), SWAP(0, 2),
+            Barrier(0, 1, 2), Measure(0), Measure(2),
+        ],
+    )
+
+
+class TestQasmRoundTripAllGates:
+    def test_export_import_export_identity(self):
+        """export -> import -> export is the identity on the text."""
+        circuit = _every_gate_kind_circuit()
+        text = to_qasm(circuit)
+        recovered = from_qasm(text)
+        assert [(g.name, g.qubits, g.params) for g in recovered] == [
+            (g.name, g.qubits, g.params) for g in circuit
+        ]
+        assert to_qasm(recovered) == text
+
+    def test_round_trip_decomposed_swaps(self):
+        circuit = _every_gate_kind_circuit().decompose_swaps()
+        assert "swap" not in circuit.counts()
+        text = to_qasm(circuit)
+        recovered = from_qasm(text)
+        assert [g.name for g in recovered] == [g.name for g in circuit]
+        assert to_qasm(recovered) == text
+
+    def test_round_trip_barrier_only_subset(self):
+        circuit = Circuit(2, [Barrier(0), Barrier(0, 1)])
+        recovered = from_qasm(to_qasm(circuit))
+        assert [g.qubits for g in recovered] == [(0,), (0, 1)]
+
+    def test_round_trip_preserves_depth_and_counts(self):
+        circuit = _every_gate_kind_circuit()
+        recovered = from_qasm(to_qasm(circuit))
+        assert recovered.depth() == circuit.depth()
+        assert recovered.counts() == circuit.counts()

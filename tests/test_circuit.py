@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.circuit import Circuit
-from repro.circuit.gates import CNOT, CZ, SWAP, Barrier, Gate, H, Measure, RX, RY, RZ, S, SDG, X, Y, Z
+from repro.circuit.gates import CNOT, CZ, SWAP, Barrier, H, Measure, RX, RY, RZ, S, SDG, X, Y, Z
 
 
 class TestGates:

@@ -24,6 +24,7 @@ from repro.compiler import (
 )
 from repro.compiler.verify import (
     assert_equivalent,
+    assert_routed_equivalent,
     compiled_state,
     embed_logical_state,
     logical_reference_state,
@@ -33,7 +34,7 @@ from repro.core import compress_ansatz
 from repro.core.ir import IRTerm, PauliProgram
 from repro.hardware import grid17q, xtree
 from repro.pauli import PauliString
-from repro.sim import apply_pauli_exponential, basis_state
+from repro.sim import apply_pauli_exponential
 
 
 def random_program(num_qubits: int, num_strings: int, seed: int) -> PauliProgram:
@@ -209,6 +210,63 @@ class TestSabre:
     def test_device_too_small(self):
         with pytest.raises(ValueError):
             SabreRouter(xtree(5)).run(Circuit(8))
+
+
+class TestRoutedVerification:
+    """Regression tests: routed results verify directly through their
+    final-layout permutation, with no manual un-permutation."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_sabre_result_verifies_directly(self, seed):
+        program = random_program(5, 6, seed=60 + seed)
+        params = np.random.default_rng(seed).normal(size=6)
+        chain = synthesize_program_chain(program, params)
+        result = SabreRouter(xtree(8)).run(chain)
+        assert result.num_swaps >= 0
+        assert_routed_equivalent(program, params, result)
+
+    def test_sabre_permuting_case_has_swaps(self):
+        """The regression scenario: routing that actually permutes
+        qubits (num_swaps > 0) must still verify without help."""
+        program = random_program(6, 8, seed=91)
+        params = np.random.default_rng(91).normal(size=8)
+        chain = synthesize_program_chain(program, params)
+        result = SabreRouter(xtree(8)).run(chain)
+        assert result.num_swaps > 0
+        assert result.final_layout != result.initial_layout
+        assert_routed_equivalent(program, params, result)
+
+    def test_mtr_result_verifies_directly(self):
+        program = random_program(6, 8, seed=12)
+        params = np.random.default_rng(12).normal(size=8) * 0.5
+        compiled = MergeToRootCompiler(xtree(8)).compile(program, params)
+        assert_routed_equivalent(program, params, compiled)
+
+    def test_wrong_layout_is_caught(self):
+        program = random_program(5, 6, seed=13)
+        params = np.random.default_rng(13).normal(size=6)
+        chain = synthesize_program_chain(program, params)
+        result = SabreRouter(xtree(8)).run(chain)
+        assert result.num_swaps > 0
+        broken = dict(result.final_layout)
+        a, b = sorted(broken)[:2]
+        broken[a], broken[b] = broken[b], broken[a]
+        with pytest.raises(AssertionError):
+            assert_equivalent(program, params, result.circuit, broken)
+
+    def test_optimized_circuit_substitution(self):
+        """Peephole-optimized rewrites verify against the same layout."""
+        from repro.compiler import cancel_gates
+
+        problem = build_molecule_hamiltonian("LiH")
+        program = build_uccsd_program(problem).program
+        params = np.random.default_rng(5).normal(size=program.num_parameters) * 0.2
+        compiled = MergeToRootCompiler(xtree(8)).compile(program, params)
+        optimized = cancel_gates(
+            compiled.circuit.decompose_swaps(), commute=True
+        )
+        assert optimized.num_cnots() <= compiled.circuit.num_cnots()
+        assert_routed_equivalent(program, params, compiled, circuit=optimized)
 
 
 class TestOverheadComparison:

@@ -1,0 +1,202 @@
+"""Tests for the shared circuit DAG IR and its consumers.
+
+Covers construction (wire edges, commutation-aware edges, front layer),
+scheduling metrics (depth, latency-weighted critical path), and the
+integration points: SABRE's commutation-aware frontier and the DAG
+emitted by Merge-to-Root.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, CircuitDAG
+from repro.circuit.dag import gate_axes
+from repro.circuit.gates import (
+    Barrier,
+    CNOT,
+    CZ,
+    H,
+    Measure,
+    RZ,
+    S,
+    SWAP,
+    X,
+)
+from repro.hardware.latency import DEFAULT_LATENCY, GateLatencyModel
+
+
+class TestConstruction:
+    def test_wire_edges(self):
+        dag = CircuitDAG.from_circuit(Circuit(3, [H(0), CNOT(0, 1), CNOT(1, 2)]))
+        assert dag.nodes[0].num_predecessors == 0
+        assert dag.nodes[1].num_predecessors == 1
+        assert dag.nodes[2].num_predecessors == 1
+        assert [s.index for s in dag.nodes[0].successors] == [1]
+
+    def test_front_layer_plain(self):
+        dag = CircuitDAG.from_circuit(Circuit(2, [RZ(0.2, 0), CNOT(0, 1)]))
+        assert [n.index for n in dag.front_layer()] == [0]
+
+    def test_front_layer_commute(self):
+        # RZ on the control commutes with the CNOT: both are frontier.
+        dag = CircuitDAG.from_circuit(
+            Circuit(2, [RZ(0.2, 0), CNOT(0, 1)]), commute=True
+        )
+        assert [n.index for n in dag.front_layer()] == [0, 1]
+
+    def test_commute_shared_control_no_edge(self):
+        dag = CircuitDAG.from_circuit(
+            Circuit(3, [CNOT(0, 1), CNOT(0, 2)]), commute=True
+        )
+        assert dag.nodes[1].num_predecessors == 0
+
+    def test_commute_target_conflict_keeps_edge(self):
+        dag = CircuitDAG.from_circuit(
+            Circuit(3, [CNOT(0, 1), CNOT(2, 1)]), commute=True
+        )
+        # Shared target: X-like on both -> still commutes, no edge.
+        assert dag.nodes[1].num_predecessors == 0
+        dag = CircuitDAG.from_circuit(
+            Circuit(2, [CNOT(0, 1), CNOT(1, 0)]), commute=True
+        )
+        # Reversed CNOT conflicts on both wires.
+        assert dag.nodes[1].num_predecessors == 1
+
+    def test_barrier_blocks_commuting_gates(self):
+        dag = CircuitDAG.from_circuit(
+            Circuit(1, [RZ(0.1, 0), Barrier(0), RZ(0.2, 0)]), commute=True
+        )
+        assert dag.nodes[1].num_predecessors == 1
+        assert dag.nodes[2].num_predecessors == 1
+
+    def test_append_validates_qubits(self):
+        with pytest.raises(ValueError):
+            CircuitDAG(2).append(H(5))
+
+    def test_gate_axes_vocabulary(self):
+        assert gate_axes(CNOT(0, 1)) == ("Z", "X")
+        assert gate_axes(CZ(0, 1)) == ("Z", "Z")
+        assert gate_axes(RZ(0.1, 0)) == ("Z",)
+        assert gate_axes(S(0)) == ("Z",)
+        assert gate_axes(X(0)) == ("X",)
+        assert gate_axes(H(0)) == (None,)
+        assert gate_axes(SWAP(0, 1)) == (None, None)
+
+    def test_to_circuit_preserves_order(self):
+        gates = [H(0), CNOT(0, 1), RZ(0.5, 1), CNOT(0, 1), H(0)]
+        for commute in (False, True):
+            dag = CircuitDAG.from_circuit(Circuit(2, gates), commute=commute)
+            assert dag.to_circuit().gates == gates
+
+    def test_topological_indices_monotone(self):
+        rng = np.random.default_rng(7)
+        vocab = [H(0), X(1), CNOT(0, 1), CNOT(1, 2), RZ(0.3, 2), SWAP(0, 2)]
+        gates = [vocab[i] for i in rng.integers(0, len(vocab), size=40)]
+        dag = CircuitDAG.from_circuit(Circuit(3, gates), commute=True)
+        for node in dag.nodes:
+            for predecessor in node.predecessors:
+                assert predecessor.index < node.index
+
+
+class TestScheduling:
+    def test_depth_pinned_five_gate_circuit(self):
+        """Hand-computed ASAP levels (guards wire-frontier off-by-ones):
+
+            H(0)       -> level 1 on wire 0
+            H(1)       -> level 1 on wire 1
+            CNOT(0,1)  -> level 2 (both wires at 1)
+            CNOT(1,2)  -> level 3 (wire 1 at 2, wire 2 fresh)
+            H(0)       -> level 3 (wire 0 still at 2)
+        """
+        circuit = Circuit(3, [H(0), H(1), CNOT(0, 1), CNOT(1, 2), H(0)])
+        assert circuit.depth() == 3
+        assert CircuitDAG.from_circuit(circuit).depth() == 3
+
+    def test_depth_barrier_synchronizes_but_costs_nothing(self):
+        circuit = Circuit(2, [H(0), Barrier(0, 1), H(1)])
+        # H(1) must wait for the barrier, which waits for H(0).
+        assert circuit.depth() == 2
+        assert Circuit(2, [H(0), H(1)]).depth() == 1
+
+    def test_measure_costs_nothing(self):
+        assert Circuit(1, [H(0), Measure(0)]).depth() == 1
+
+    def test_empty_circuit(self):
+        assert Circuit(3).depth() == 0
+
+    def test_duration_critical_path(self):
+        model = GateLatencyModel(single_qubit_ns=10.0, cx_ns=100.0)
+        circuit = Circuit(3, [H(0), CNOT(0, 1), H(2)])
+        dag = CircuitDAG.from_circuit(circuit)
+        # Critical path: H(0) -> CNOT = 110 ns; H(2) runs in parallel.
+        assert dag.duration(model) == pytest.approx(110.0)
+
+    def test_duration_swap_is_three_cnots(self):
+        assert DEFAULT_LATENCY.duration(SWAP(0, 1)) == pytest.approx(
+            3 * DEFAULT_LATENCY.cx_ns
+        )
+
+    def test_duration_accepts_callable(self):
+        dag = CircuitDAG.from_circuit(Circuit(1, [H(0), X(0)]))
+        assert dag.duration(lambda gate: 2.0) == pytest.approx(4.0)
+
+
+class TestScheduleReport:
+    def test_swap_decomposition_counts_three_levels(self):
+        from repro.compiler import schedule_report
+
+        report = schedule_report(Circuit(2, [SWAP(0, 1)]))
+        assert report.depth == 1
+        assert report.scheduled_depth == 3
+        assert report.duration_ns == pytest.approx(3 * DEFAULT_LATENCY.cx_ns)
+
+    def test_mtr_compiled_program_carries_dag(self):
+        from repro.compiler import MergeToRootCompiler
+        from repro.core.ir import IRTerm, PauliProgram
+        from repro.hardware import xtree
+        from repro.pauli import PauliString
+
+        terms = [
+            IRTerm(PauliString.from_label("XXI"), 1.0, 0),
+            IRTerm(PauliString.from_label("IZZ"), 1.0, 1),
+        ]
+        program = PauliProgram(3, 2, terms, [0])
+        compiled = MergeToRootCompiler(xtree(8)).compile(program)
+        assert compiled.dag is not None
+        assert compiled.dag.to_circuit().gates == compiled.circuit.gates
+
+    def test_sabre_result_carries_dag(self):
+        from repro.compiler import SabreRouter
+        from repro.hardware import xtree
+
+        result = SabreRouter(xtree(8)).run(Circuit(8, [CNOT(2, 6), H(3)]))
+        assert result.dag is not None
+        assert result.dag.to_circuit().gates == result.circuit.gates
+
+
+class TestCommutingFrontierRouting:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_commute_routing_equivalent(self, seed):
+        """SABRE over the commutation-aware frontier stays correct."""
+        from repro.compiler import SabreRouter, assert_routed_equivalent, synthesize_program_chain
+        from repro.hardware import xtree
+        from test_compiler import random_program
+
+        program = random_program(5, 6, seed=40 + seed)
+        params = np.random.default_rng(seed).normal(size=6)
+        chain = synthesize_program_chain(program, params)
+        result = SabreRouter(xtree(8), commute=True).run(chain)
+        assert_routed_equivalent(program, params, result)
+
+    def test_commute_routing_respects_coupling(self):
+        from repro.compiler import SabreRouter, synthesize_program_chain
+        from repro.hardware import xtree
+        from test_compiler import random_program
+
+        program = random_program(6, 8, seed=77)
+        chain = synthesize_program_chain(program, [0.1] * 8)
+        device = xtree(8)
+        result = SabreRouter(device, commute=True).run(chain)
+        for gate in result.circuit.decompose_swaps():
+            if gate.is_two_qubit():
+                assert device.are_connected(*gate.qubits), gate

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.chem.hartree_fock import SCFConvergenceError, run_rhf
+from repro.chem.hartree_fock import run_rhf
 from repro.chem.integrals import build_basis, compute_integrals
 from repro.chem.molecules import molecule_by_name
 

@@ -26,7 +26,7 @@ from repro.core import (
     run_batch,
     save_batch,
 )
-from repro.core.passes import BuildAnsatz, BuildProblem, Compress, PipelineContext
+from repro.core.passes import BuildAnsatz, BuildProblem, Compress
 from repro.hardware.coupling import CouplingGraph
 from repro.hardware.registry import get_device, list_devices, register_device
 from repro.hardware.xtree import xtree
@@ -353,3 +353,48 @@ class TestVQEBackendRegistry:
         assert restored.iterations == result.iterations
         assert list(restored.parameters) == list(result.parameters)
         assert restored.to_dict() == result.to_dict()
+
+
+class TestDagCommuteKnobs:
+    """The shared-DAG pipeline knobs: ``dag`` (scheduled metrics) and
+    ``commute`` (commutation-aware frontier + cancellation reporting)."""
+
+    def test_defaults(self):
+        config = PipelineConfig()
+        assert config.dag is True
+        assert config.commute is False
+
+    def test_dag_metrics_reported(self):
+        result = Pipeline(PipelineConfig(molecule="H2", ratio=0.5)).run()
+        assert result.metrics["scheduled_depth"] > 0
+        assert result.metrics["duration_ns"] > 0.0
+        assert result.metrics["depth"] <= result.metrics["scheduled_depth"]
+
+    def test_dag_off_skips_schedule_metrics(self):
+        result = Pipeline(
+            PipelineConfig(molecule="H2", ratio=0.5, dag=False)
+        ).run()
+        assert "scheduled_depth" not in result.metrics
+        assert "duration_ns" not in result.metrics
+
+    def test_commute_records_cancellation_columns(self):
+        result = Pipeline(
+            PipelineConfig(molecule="H2", ratio=0.5, commute=True)
+        ).run()
+        metrics = result.metrics
+        assert metrics["chain_cnots_commute"] <= metrics["chain_cnots_adjacency"]
+        assert metrics["chain_cnots_adjacency"] <= metrics["chain_cnots"]
+
+    def test_commute_threads_to_sabre(self):
+        base = PipelineConfig(molecule="LiH", ratio=0.5, compiler="sabre")
+        plain = Pipeline(base).run()
+        commuting = Pipeline(base.replace(commute=True)).run()
+        # Same program, both routings legal; counts may differ but both
+        # must report full Table II metrics.
+        for result in (plain, commuting):
+            assert result.metrics["total_cnots"] >= result.original_cnots
+
+    def test_knobs_round_trip_config(self):
+        config = PipelineConfig(dag=False, commute=True)
+        restored = PipelineConfig.from_dict(config.to_dict())
+        assert restored == config

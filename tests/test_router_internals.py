@@ -1,6 +1,5 @@
 """White-box tests for Merge-to-Root routing and SABRE internals."""
 
-import numpy as np
 import pytest
 
 from repro.circuit import Circuit
@@ -97,11 +96,19 @@ class TestSteinerRouting:
 
 class TestSabreInternals:
     def test_dag_dependencies(self):
+        """SABRE's frontier comes from the shared CircuitDAG."""
+        from repro.circuit.dag import CircuitDAG
+
         circuit = Circuit(3, [H(0), CNOT(0, 1), CNOT(1, 2)])
-        nodes, successors = SabreRouter._build_dag(circuit)
-        assert nodes[0].remaining == 0
-        assert nodes[1].remaining == 1  # depends on H(0)
-        assert successors[1] == [2]
+        dag = CircuitDAG.from_circuit(circuit)
+        assert dag.nodes[0].num_predecessors == 0
+        assert dag.nodes[1].num_predecessors == 1  # depends on H(0)
+        assert [s.index for s in dag.nodes[1].successors] == [2]
+
+    def test_private_dag_builder_is_gone(self):
+        """Single DAG construction path: the router's old private
+        ``_build_dag`` must not resurface."""
+        assert not hasattr(SabreRouter, "_build_dag")
 
     def test_candidate_swaps_touch_front_qubits(self):
         router = SabreRouter(xtree(8))
@@ -124,13 +131,10 @@ class TestSabreInternals:
 
     def test_escape_swap_moves_toward_target(self):
         router = SabreRouter(xtree(8))
-        from repro.compiler.sabre import _GateNode
-
-        node = _GateNode(0, CNOT(0, 1), 0)
         tree = xtree(8)
         leaf = tree.children(2)[0] if tree.children(2) else 6
         position = {0: leaf, 1: 1}
-        a, b = router._escape_swap(node, position)
+        a, b = router._escape_swap(CNOT(0, 1), position)
         assert tree.are_connected(a, b)
 
     def test_refinement_does_not_break_routing(self):
