@@ -15,9 +15,13 @@ setup(
     license="MIT",
     package_dir={"": "src"},
     packages=find_packages("src"),
-    python_requires=">=3.10",
+    # 3.11 matches CI and the ruff target-version; numpy>=2.0 is required
+    # for np.bitwise_count (repro.core.bits.popcount is the single place
+    # that dependency lives -- it carries a SWAR fallback, but the
+    # supported configuration is NumPy 2.x).
+    python_requires=">=3.11",
     install_requires=[
-        "numpy",
+        "numpy>=2.0",
         "scipy",
         "networkx",
     ],

@@ -1,0 +1,43 @@
+"""Shared bit-level primitives.
+
+:func:`popcount` is the single place the codebase depends on a vectorized
+population count.  NumPy grew ``np.bitwise_count`` in 2.0 (the version
+``setup.py`` pins); the helper routes through it when present and falls
+back to a branch-free SWAR reduction on older NumPy, so every caller --
+the parity-sign kernels of :mod:`repro.sim.pauli_evolution`, the sampled
+parities of :class:`repro.vqe.energy.SamplingEnergy` -- shares one
+implementation instead of scattering version-gated ``np.bitwise_count``
+calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_M1 = np.uint64(0x5555555555555555)
+_M2 = np.uint64(0x3333333333333333)
+_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_H01 = np.uint64(0x0101010101010101)
+_SHIFT = np.uint64(56)
+
+
+def _popcount_swar(values: np.ndarray) -> np.ndarray:
+    """Branch-free 64-bit SWAR popcount (NumPy < 2.0 fallback)."""
+    v = values.astype(np.uint64, copy=True)
+    v -= (v >> np.uint64(1)) & _M1
+    v = (v & _M2) + ((v >> np.uint64(2)) & _M2)
+    v = (v + (v >> np.uint64(4))) & _M4
+    return (v * _H01) >> _SHIFT
+
+
+def popcount(values: np.ndarray) -> np.ndarray:
+    """Per-element number of set bits of an unsigned integer array.
+
+    Accepts anything castable to ``uint64`` (masks in this codebase stay
+    well under 64 bits); returns an unsigned-integer array of the same
+    shape (the exact width follows the underlying kernel).
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(values)
+    return _popcount_swar(values)

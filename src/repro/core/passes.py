@@ -53,7 +53,10 @@ class PipelineConfig:
     path (:data:`repro.sim.statevector.ENGINES`:
     ``"inplace"``/``"batched"``/``"legacy"``) used by the optional
     :class:`Energy` stage and anything else that simulates the staged
-    ansatz.
+    ansatz; ``trajectories`` sizes the stochastic Pauli-trajectory
+    noise engine when the :class:`Energy` stage runs with
+    ``backend="trajectory"`` (the noisy path past the density-matrix
+    simulator's 12-qubit cap).
 
     ``dag`` and ``commute`` control the shared circuit DAG IR
     (:class:`repro.circuit.dag.CircuitDAG`): with ``dag`` on, the
@@ -72,6 +75,7 @@ class PipelineConfig:
     compiler: str = "mtr"
     layout: str = "auto"
     engine: str = "inplace"
+    trajectories: int = 256
     dag: bool = True
     commute: bool = False
     decay_base: float = 2.0
@@ -261,8 +265,12 @@ class Energy(Pass):
     Not part of the default pipeline; append it for accuracy/convergence
     workloads.  Records ``energy``, ``iterations``, and (when
     ``compute_exact``) ``exact_energy``/``energy_error`` in the metrics.
-    The simulation engine defaults to the config's ``engine`` field, so
-    batch sweeps switch fast paths without touching the stage.
+    The simulation engine and trajectory count default to the config's
+    ``engine``/``trajectories`` fields, so batch sweeps switch fast
+    paths (or size the noisy trajectory backend) without touching the
+    stage.  ``backend="trajectory"`` with ``noise=`` runs the noisy
+    stochastic-trajectory path; backends that cannot honor a noise
+    model raise instead of silently ignoring it.
     """
 
     name = "energy"
@@ -274,6 +282,7 @@ class Energy(Pass):
         engine: str | None = None,
         gradient: str | None = None,
         noise: Any = None,
+        trajectories: int | None = None,
         max_iterations: int = 200,
         compute_exact: bool = True,
     ):
@@ -281,6 +290,7 @@ class Energy(Pass):
         self.engine = engine
         self.gradient = gradient
         self.noise = noise
+        self.trajectories = trajectories
         self.max_iterations = max_iterations
         self.compute_exact = compute_exact
 
@@ -299,6 +309,7 @@ class Energy(Pass):
             engine=self.engine or context.config.engine,
             gradient=self.gradient,
             noise=self.noise,
+            trajectories=self.trajectories or context.config.trajectories,
             max_iterations=self.max_iterations,
         ).run()
         context.vqe_result = result

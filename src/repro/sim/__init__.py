@@ -11,7 +11,12 @@
 * :mod:`repro.sim.expectation` -- grouped Pauli-sum expectation values
   (single, batched, and real-arithmetic evaluation).
 * :mod:`repro.sim.density_matrix` -- exact density-matrix simulator with
-  noise channels (the stand-in for Aer's qasm simulator + noise model).
+  noise channels (the stand-in for Aer's qasm simulator + noise model);
+  O(4^n), capped at 12 qubits.
+* :mod:`repro.sim.trajectory` -- stochastic Pauli-trajectory unraveling
+  of the same depolarizing channels: K batched statevector trajectories
+  give an unbiased O(K*T*2^n) estimate of the density-matrix result
+  (the path past 12 qubits for noisy studies).
 * :mod:`repro.sim.exact` -- sparse exact ground-state solver ("Ground
   State" reference curves in Figure 9).
 
@@ -27,6 +32,13 @@ from repro.sim.statevector import (
     apply_gate_inplace,
     basis_state,
     check_engine,
+    checked_probabilities,
+)
+from repro.sim.trajectory import (
+    TrajectoryEstimate,
+    TrajectorySimulator,
+    trajectory_estimate,
+    trajectory_expectations,
 )
 from repro.sim.pauli_evolution import (
     PauliEvolutionWorkspace,
@@ -47,7 +59,12 @@ __all__ = [
     "DepolarizingNoiseModel",
     "ExpectationEngine",
     "PauliEvolutionWorkspace",
+    "TrajectoryEstimate",
+    "TrajectorySimulator",
+    "trajectory_estimate",
+    "trajectory_expectations",
     "basis_state",
+    "checked_probabilities",
     "apply_circuit",
     "apply_circuit_inplace",
     "apply_gate_inplace",

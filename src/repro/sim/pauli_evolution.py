@@ -18,6 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.bits import popcount
 from repro.pauli import PauliString
 
 _INDEX_CACHE: dict[int, np.ndarray] = {}
@@ -36,7 +37,7 @@ def _all_indices(num_qubits: int) -> np.ndarray:
 def parity_signs(num_qubits: int, z_mask: int) -> np.ndarray:
     """Vector of ``(-1)^{popcount(b & z_mask)}`` over all basis states b."""
     indices = _all_indices(num_qubits)
-    parity = np.bitwise_count(indices & np.uint64(z_mask)) & 1
+    parity = popcount(indices & np.uint64(z_mask)) & 1
     return 1.0 - 2.0 * parity.astype(np.float64)
 
 

@@ -45,6 +45,30 @@ def check_engine(engine: str) -> str:
     return engine
 
 
+def checked_probabilities(
+    state: np.ndarray, *, norm_tolerance: float = 1e-8, context: str = "statevector"
+) -> np.ndarray:
+    """The probability vector ``|psi|^2`` of a *normalized* state.
+
+    A probability total further than ``norm_tolerance`` from 1 raises
+    instead of being silently renormalized, so simulator bugs that leak
+    or create norm surface at the sampling boundary instead of being
+    masked.  Within tolerance, the residual float fuzz is divided out
+    (``Generator.choice`` requires probabilities summing to exactly 1).
+    Shared by :meth:`StatevectorSimulator.sample` and the finite-shot
+    energy backend (:class:`repro.vqe.energy.SamplingEnergy`).
+    """
+    probabilities = np.abs(state) ** 2
+    total = probabilities.sum()
+    if abs(total - 1.0) > norm_tolerance:
+        raise ValueError(
+            f"{context} is not normalized: probabilities sum to {total!r} "
+            f"(|total - 1| > {norm_tolerance}); this indicates a simulation "
+            "bug rather than sampling noise"
+        )
+    return probabilities / total
+
+
 def basis_state(num_qubits: int, index: int = 0) -> np.ndarray:
     """The computational basis state ``|index>`` as a statevector."""
     if not 0 <= index < (1 << num_qubits):
@@ -298,20 +322,10 @@ class StatevectorSimulator:
 
         The state must be normalized: a probability total further than
         ``norm_tolerance`` from 1 raises instead of being silently
-        renormalized, so simulator bugs that leak or create norm surface
-        here instead of being masked.  (Within tolerance, the residual
-        float fuzz is still divided out because ``Generator.choice``
-        requires probabilities summing to exactly 1.)
+        renormalized (see :func:`checked_probabilities`).
         """
-        probs = self.probabilities()
-        total = probs.sum()
-        if abs(total - 1.0) > norm_tolerance:
-            raise ValueError(
-                f"statevector is not normalized: probabilities sum to {total!r} "
-                f"(|total - 1| > {norm_tolerance}); this indicates a simulation "
-                "bug rather than sampling noise"
-            )
-        return self._rng.choice(len(probs), size=shots, p=probs / total)
+        probs = checked_probabilities(self.state, norm_tolerance=norm_tolerance)
+        return self._rng.choice(len(probs), size=shots, p=probs)
 
     def sample_counts(self, shots: int) -> dict[int, int]:
         outcomes, counts = np.unique(self.sample(shots), return_counts=True)

@@ -2,7 +2,9 @@
 
 * :mod:`repro.vqe.energy`      -- energy evaluators: exact statevector
   (Aer-statevector stand-in), exact density matrix with noise
-  (Aer-qasm + noise-model stand-in), and shot-based sampling;
+  (Aer-qasm + noise-model stand-in), stochastic Pauli-trajectory noisy
+  energies (the unbiased noisy path past 12 qubits), and shot-based
+  sampling;
 * :mod:`repro.vqe.measurement` -- qubit-wise-commuting measurement
   grouping (the inner loop);
 * :mod:`repro.vqe.gradient`    -- analytic gradients: adjoint mode (one
@@ -18,6 +20,7 @@
 from repro.vqe.energy import (
     StatevectorEnergy,
     DensityMatrixEnergy,
+    TrajectoryEnergy,
     SamplingEnergy,
 )
 from repro.vqe.gradient import AdjointGradient, ParameterShiftGradient
@@ -29,6 +32,7 @@ from repro.vqe.scan import bond_scan, ScanPoint, sweep_energies
 __all__ = [
     "StatevectorEnergy",
     "DensityMatrixEnergy",
+    "TrajectoryEnergy",
     "SamplingEnergy",
     "AdjointGradient",
     "ParameterShiftGradient",

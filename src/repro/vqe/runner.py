@@ -17,21 +17,62 @@ import numpy as np
 from repro.core.ir import PauliProgram
 from repro.pauli import PauliSum
 from repro.sim.noise import DepolarizingNoiseModel
-from repro.vqe.energy import DensityMatrixEnergy, SamplingEnergy, StatevectorEnergy
+from repro.vqe.energy import (
+    DensityMatrixEnergy,
+    SamplingEnergy,
+    StatevectorEnergy,
+    TrajectoryEnergy,
+)
 from repro.vqe.optimizer import OptimizationOutcome, minimize_energy
+
+
+def _reject_noise(backend: str, noise: DepolarizingNoiseModel | None) -> None:
+    """Fail loudly when a noise model would be silently discarded.
+
+    A user "reproducing Figure 10" through a backend that cannot apply
+    gate noise must get an error, not noiseless numbers labeled noisy.
+    """
+    if noise is not None and not noise.is_trivial():
+        raise ValueError(
+            f"VQE backend {backend!r} cannot apply a noise model, so the "
+            "given noise= would be silently ignored; use "
+            "backend='trajectory' (unbiased, scales past 12 qubits) or "
+            "backend='density_matrix' (exact, <= 12 qubits) for noisy "
+            "energies, or pass noise=None"
+        )
+
+
+def _statevector_backend(program, hamiltonian, *, noise, shots_per_group, seed, engine):
+    _reject_noise("statevector", noise)
+    return StatevectorEnergy(program, hamiltonian, engine=engine)
+
+
+def _density_matrix_backend(program, hamiltonian, *, noise, shots_per_group, seed):
+    return DensityMatrixEnergy(program, hamiltonian, noise)
+
+
+def _trajectory_backend(
+    program, hamiltonian, *, noise, shots_per_group, seed, trajectories
+):
+    return TrajectoryEnergy(
+        program, hamiltonian, noise, trajectories=trajectories, seed=seed
+    )
+
+
+def _sampling_backend(program, hamiltonian, *, noise, shots_per_group, seed):
+    _reject_noise("sampling", noise)
+    return SamplingEnergy(
+        program, hamiltonian, shots_per_group=shots_per_group, seed=seed
+    )
+
 
 #: Registry of energy-backend factories; keys are the valid ``backend``
 #: names for :class:`VQE`.  Extend with :func:`register_backend`.
 ENERGY_BACKENDS: dict[str, Callable[..., Any]] = {
-    "statevector": lambda program, hamiltonian, *, noise, shots_per_group, seed, engine: (
-        StatevectorEnergy(program, hamiltonian, engine=engine)
-    ),
-    "density_matrix": lambda program, hamiltonian, *, noise, shots_per_group, seed, engine: (
-        DensityMatrixEnergy(program, hamiltonian, noise)
-    ),
-    "sampling": lambda program, hamiltonian, *, noise, shots_per_group, seed, engine: (
-        SamplingEnergy(program, hamiltonian, shots_per_group=shots_per_group, seed=seed)
-    ),
+    "statevector": _statevector_backend,
+    "density_matrix": _density_matrix_backend,
+    "trajectory": _trajectory_backend,
+    "sampling": _sampling_backend,
 }
 
 
@@ -47,9 +88,12 @@ def register_backend(
     The factory is called as ``factory(program, hamiltonian, noise=...,
     shots_per_group=..., seed=...)`` and must return a callable mapping
     a parameter vector to a float energy.  Factories that declare an
-    ``engine`` keyword (or ``**kwargs``) additionally receive the
-    simulation-engine name from :data:`repro.sim.statevector.ENGINES`;
-    backends with no statevector fast path may simply not declare it.
+    ``engine`` or ``trajectories`` keyword (or ``**kwargs``)
+    additionally receive the simulation-engine name
+    (:data:`repro.sim.statevector.ENGINES`) and/or the trajectory count;
+    backends that don't use them may simply not declare them.  A factory
+    that cannot honor a non-trivial ``noise`` model must raise rather
+    than drop it silently.
     """
     if name in ENERGY_BACKENDS and not overwrite:
         raise ValueError(f"backend {name!r} already registered")
@@ -114,6 +158,7 @@ class VQE:
         gradient: str | None = None,
         noise: DepolarizingNoiseModel | None = None,
         shots_per_group: int = 4096,
+        trajectories: int = 256,
         seed: int | None = 17,
         method: str = "SLSQP",
         max_iterations: int = 200,
@@ -134,13 +179,15 @@ class VQE:
             "shots_per_group": shots_per_group,
             "seed": seed,
         }
-        # Only hand the engine to factories that take it, so backends
-        # registered against the pre-engine signature keep working.
+        # Only hand optional knobs to factories that take them, so
+        # backends registered against older signatures keep working.
         factory_params = inspect.signature(factory).parameters
-        if "engine" in factory_params or any(
+        accepts_kwargs = any(
             p.kind is inspect.Parameter.VAR_KEYWORD for p in factory_params.values()
-        ):
-            factory_kwargs["engine"] = engine
+        )
+        for knob, value in (("engine", engine), ("trajectories", trajectories)):
+            if knob in factory_params or accepts_kwargs:
+                factory_kwargs[knob] = value
         self.energy = factory(program, hamiltonian, **factory_kwargs)
         if gradient is not None:
             from repro.vqe.gradient import GRADIENT_METHODS

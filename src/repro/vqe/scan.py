@@ -106,10 +106,17 @@ def bond_scan(
     engine: str = "inplace",
     gradient: str | None = None,
     noise: DepolarizingNoiseModel | None = None,
+    trajectories: int = 256,
     max_iterations: int = 200,
     seed: int = 23,
 ) -> list[ScanPoint]:
-    """Run the VQE sweep the accuracy/convergence figures are built from."""
+    """Run the VQE sweep the accuracy/convergence figures are built from.
+
+    ``backend="trajectory"`` (with ``noise=`` and ``trajectories=``)
+    selects the stochastic Pauli-trajectory noisy path, which is the
+    only way to run noisy sweeps on >12-qubit molecules; ``seed`` only
+    feeds the configuration randomization (``randNN%`` ansatz subsets).
+    """
     points: list[ScanPoint] = []
     for bond_length in bond_lengths:
         problem = build_molecule_hamiltonian(molecule, bond_length)
@@ -126,6 +133,7 @@ def bond_scan(
                 engine=engine,
                 gradient=gradient,
                 noise=noise,
+                trajectories=trajectories,
                 max_iterations=max_iterations,
             )
             result = vqe.run()

@@ -1,0 +1,294 @@
+"""Stochastic Pauli-trajectory engine + noisy-path regression tests.
+
+Covers the ISSUE-5 fixes: the trajectory engine's agreement with the
+exact density matrix, seeded determinism, the noise models that used to
+be silently discarded now raising, the shared popcount helper, and the
+normalization assertion that replaced silent renormalization in the
+sampling backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ansatz import build_uccsd_program
+from repro.chem import build_molecule_hamiltonian
+from repro.circuit import Circuit
+from repro.circuit.gates import CNOT, H, RX, RZ, SWAP
+from repro.core import compress_ansatz
+from repro.core.bits import _popcount_swar, popcount
+from repro.pauli import PauliSum
+from repro.sim import (
+    DensityMatrixSimulator,
+    DepolarizingNoiseModel,
+    StatevectorSimulator,
+    TrajectorySimulator,
+    apply_circuit,
+    trajectory_estimate,
+    trajectory_expectations,
+)
+from repro.sim.trajectory import channel_paulis
+from repro.vqe import VQE, TrajectoryEnergy, available_backends
+from repro.vqe.energy import DensityMatrixEnergy, SamplingEnergy
+
+
+@pytest.fixture(scope="module")
+def lih():
+    problem = build_molecule_hamiltonian("LiH")
+    program = build_uccsd_program(problem).program
+    compressed = compress_ansatz(program, problem.hamiltonian, 0.3).program
+    return problem, compressed
+
+
+NOISE = DepolarizingNoiseModel(two_qubit_error=0.02)
+
+OBSERVABLE = PauliSum.from_label_dict(
+    {"ZZI": 1.0, "IXX": 0.5, "ZIZ": -0.7, "YIY": 0.25}
+)
+
+CIRCUIT = Circuit(
+    3, [H(0), CNOT(0, 1), RX(0.7, 2), CNOT(1, 2), RZ(0.3, 0), SWAP(0, 2)]
+)
+
+
+class TestChannelPaulis:
+    def test_sizes_and_embedding(self):
+        one_qubit = channel_paulis(4, (2,))
+        assert len(one_qubit) == 3
+        assert {p.label() for p in one_qubit} == {"IXII", "IYII", "IZII"}
+        two_qubit = channel_paulis(3, (0, 2))
+        assert len(two_qubit) == 15
+        # Local qubit 0 of the gate maps to physical qubit 0, local 1 to 2.
+        assert all(p.op_on(1) == "I" for p in two_qubit)
+        assert not any(p.is_identity() for p in two_qubit)
+
+
+class TestTrajectorySimulator:
+    def test_noiseless_rows_match_statevector_exactly(self):
+        simulator = TrajectorySimulator(3, None, trajectories=4, seed=0)
+        simulator.run(CIRCUIT)
+        expected = apply_circuit(CIRCUIT)
+        for row in simulator.states:
+            np.testing.assert_allclose(row, expected, atol=1e-12)
+        assert simulator.error_events == 0
+
+    def test_seeded_determinism(self):
+        a = TrajectorySimulator(3, NOISE, trajectories=32, seed=5)
+        b = TrajectorySimulator(3, NOISE, trajectories=32, seed=5)
+        np.testing.assert_array_equal(a.run(CIRCUIT), b.run(CIRCUIT))
+        assert a.error_events == b.error_events
+
+    def test_unbiased_against_density_matrix(self):
+        noise = DepolarizingNoiseModel(two_qubit_error=0.05, one_qubit_error=0.01)
+        dm = DensityMatrixSimulator(3, noise)
+        dm.run(CIRCUIT)
+        exact = dm.expectation(OBSERVABLE)
+        estimate = trajectory_estimate(
+            CIRCUIT, OBSERVABLE, noise, trajectories=4096, seed=3
+        )
+        assert estimate.error_events > 0
+        assert estimate.standard_error > 0.0
+        assert estimate.agrees_with(exact, sigmas=4.0)
+
+    def test_swaps_are_noisy(self):
+        # SWAPs decompose into three noisy CNOTs, as in the DM simulator.
+        swap_only = Circuit(2, [H(0), SWAP(0, 1)])
+        noise = DepolarizingNoiseModel(two_qubit_error=1.0)
+        simulator = TrajectorySimulator(2, noise, trajectories=8, seed=0)
+        simulator.run(swap_only)
+        assert simulator.error_events == 3 * 8
+
+    def test_qubit_mismatch(self):
+        with pytest.raises(ValueError, match="qubit count mismatch"):
+            TrajectorySimulator(2, trajectories=2).run(CIRCUIT)
+
+    def test_invalid_trajectory_count(self):
+        with pytest.raises(ValueError, match="trajectories"):
+            TrajectorySimulator(2, trajectories=0)
+
+    def test_block_streaming_shapes(self):
+        values = trajectory_expectations(
+            CIRCUIT, OBSERVABLE, NOISE, trajectories=10, seed=2, block_size=4
+        )
+        assert values.shape == (10,)
+        assert np.isfinite(values).all()
+
+    def test_estimate_fields(self):
+        estimate = trajectory_estimate(
+            CIRCUIT, OBSERVABLE, NOISE, trajectories=16, seed=1
+        )
+        assert estimate.trajectories == 16
+        assert np.isfinite(estimate.value)
+        single = trajectory_estimate(
+            CIRCUIT, OBSERVABLE, NOISE, trajectories=1, seed=1
+        )
+        assert np.isnan(single.standard_error)
+
+
+class TestTrajectoryEnergy:
+    def test_converges_to_density_matrix_on_lih(self, lih):
+        problem, program = lih
+        rng = np.random.default_rng(7)
+        theta = rng.normal(0.0, 0.05, program.num_parameters)
+        reference = DensityMatrixEnergy(program, problem.hamiltonian, NOISE)(theta)
+        energy = TrajectoryEnergy(
+            program, problem.hamiltonian, NOISE, trajectories=512, seed=11
+        )
+        value = energy(theta)
+        assert energy.last_error_events > 0
+        assert energy.last_standard_error > 0.0
+        assert abs(value - reference) <= 3.0 * energy.last_standard_error
+
+    def test_seeded_determinism(self, lih):
+        problem, program = lih
+        theta = np.full(program.num_parameters, 0.03)
+        kwargs = dict(trajectories=32, seed=13)
+        first = TrajectoryEnergy(program, problem.hamiltonian, NOISE, **kwargs)
+        second = TrajectoryEnergy(program, problem.hamiltonian, NOISE, **kwargs)
+        assert first(theta) == second(theta)
+        # Common randomness: repeated evaluations reuse the realizations,
+        # so the optimizer sees a deterministic surface.
+        assert first(theta) == second(theta)
+
+    def test_fresh_randomness_varies(self, lih):
+        problem, program = lih
+        theta = np.full(program.num_parameters, 0.03)
+        energy = TrajectoryEnergy(
+            program,
+            problem.hamiltonian,
+            NOISE,
+            trajectories=32,
+            seed=13,
+            common_randomness=False,
+        )
+        assert energy(theta) != energy(theta)
+
+    def test_vqe_backend_registered(self, lih):
+        problem, program = lih
+        assert "trajectory" in available_backends()
+        vqe = VQE(
+            program,
+            problem.hamiltonian,
+            backend="trajectory",
+            noise=DepolarizingNoiseModel(two_qubit_error=1e-4),
+            trajectories=8,
+            max_iterations=1,
+        )
+        assert isinstance(vqe.energy, TrajectoryEnergy)
+        assert vqe.energy.trajectories == 8
+
+
+class TestNoiseRejection:
+    @pytest.fixture(scope="class")
+    def h2(self):
+        problem = build_molecule_hamiltonian("H2")
+        return problem, build_uccsd_program(problem).program
+
+    @pytest.mark.parametrize("backend", ["statevector", "sampling"])
+    def test_noise_rejected(self, h2, backend):
+        problem, program = h2
+        with pytest.raises(ValueError, match="silently ignored"):
+            VQE(program, problem.hamiltonian, backend=backend, noise=NOISE)
+
+    def test_statevector_error_points_at_noisy_backends(self, h2):
+        problem, program = h2
+        with pytest.raises(ValueError, match="trajectory.*density_matrix"):
+            VQE(program, problem.hamiltonian, backend="statevector", noise=NOISE)
+
+    @pytest.mark.parametrize("backend", ["statevector", "sampling"])
+    def test_trivial_noise_accepted(self, h2, backend):
+        problem, program = h2
+        trivial = DepolarizingNoiseModel(two_qubit_error=0.0)
+        VQE(program, problem.hamiltonian, backend=backend, noise=trivial)
+        VQE(program, problem.hamiltonian, backend=backend, noise=None)
+
+    @pytest.mark.parametrize("backend", ["density_matrix", "trajectory"])
+    def test_noisy_backends_accept_noise(self, h2, backend):
+        problem, program = h2
+        VQE(program, problem.hamiltonian, backend=backend, noise=NOISE)
+
+
+class TestPopcount:
+    def _reference(self, values):
+        return np.array([bin(int(v)).count("1") for v in values])
+
+    def test_matches_pure_python_reference(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 2**63, size=200, dtype=np.uint64)
+        values[:3] = [0, 1, np.iinfo(np.uint64).max // 2]
+        np.testing.assert_array_equal(popcount(values), self._reference(values))
+
+    def test_swar_fallback_matches_reference(self):
+        # The NumPy-1.x fallback must agree even when np.bitwise_count
+        # exists, so the numpy>=2.0 requirement lives only in setup.py.
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 2**63, size=200, dtype=np.uint64)
+        np.testing.assert_array_equal(
+            _popcount_swar(values), self._reference(values)
+        )
+
+    def test_shape_preserved(self):
+        values = np.arange(16, dtype=np.uint64).reshape(4, 4)
+        assert popcount(values).shape == (4, 4)
+
+
+class TestNormalizationAssertion:
+    def test_sample_rejects_leaky_state(self):
+        simulator = StatevectorSimulator(2, seed=0)
+        simulator.state *= 0.9  # deliberate norm leak
+        with pytest.raises(ValueError, match="not normalized"):
+            simulator.sample(10)
+
+    def test_sampling_energy_rejects_leaky_state(self):
+        problem = build_molecule_hamiltonian("H2")
+        program = build_uccsd_program(problem).program
+        energy = SamplingEnergy(program, problem.hamiltonian, shots_per_group=64)
+        energy._reference *= 0.9  # deliberate norm leak in the evolution input
+        with pytest.raises(ValueError, match="not normalized"):
+            energy(np.zeros(program.num_parameters))
+
+    def test_sampling_energy_unchanged_on_normalized_state(self):
+        problem = build_molecule_hamiltonian("H2")
+        program = build_uccsd_program(problem).program
+        energy = SamplingEnergy(
+            program, problem.hamiltonian, shots_per_group=2048, seed=3
+        )
+        value = energy(np.zeros(program.num_parameters))
+        assert value == pytest.approx(problem.hf_energy, abs=0.05)
+
+
+class TestFig10Backends:
+    def test_auto_backend_selection(self):
+        from repro.bench.fig10 import noisy_backend_for
+
+        assert noisy_backend_for("LiH") == "density_matrix"
+        assert noisy_backend_for("H2O") == "density_matrix"
+        assert noisy_backend_for("BH3") == "trajectory"
+        assert noisy_backend_for("CH4") == "trajectory"
+
+    def test_pipeline_energy_pass_trajectory(self):
+        from repro.core import (
+            BuildAnsatz,
+            BuildProblem,
+            Compress,
+            Energy,
+            Pipeline,
+            PipelineConfig,
+        )
+
+        config = PipelineConfig(molecule="H2", ratio=1.0, trajectories=8)
+        pipeline = Pipeline(
+            config,
+            [
+                BuildProblem(),
+                BuildAnsatz(),
+                Compress(),
+                Energy(
+                    backend="trajectory",
+                    noise=DepolarizingNoiseModel(two_qubit_error=1e-3),
+                    max_iterations=2,
+                    compute_exact=False,
+                ),
+            ],
+        )
+        result = pipeline.run()
+        assert np.isfinite(result.metrics["energy"])
