@@ -3,9 +3,11 @@
 These are classic pytest-benchmark timings (many rounds) for the kernels
 the experiment harness leans on: Pauli algebra, statevector evolution,
 grouped expectation, Merge-to-Root compilation and SABRE routing --
-plus the simulation-engine comparison (legacy vs. in-place vs. batched,
-adjoint vs. parameter-shift gradients) that writes the ``BENCH_sim.json``
-artifact, the compiler-optimization comparison (adjacency-only vs.
+plus the simulation-engine comparison (legacy vs. in-place vs. batched
+vs. fused, adjoint vs. parameter-shift gradients) that writes the
+``BENCH_sim.json`` artifact -- including the gate-fusion vs. gate-level
+baseline row, the compile-cache cold-vs-warm row, and the per-molecule
+fusion exactness table -- the compiler-optimization comparison (adjacency-only vs.
 commutation-aware cancellation, ASAP-scheduled depth) that writes
 ``BENCH_compiler.json``, and the noisy-backend comparison (exact density
 matrix vs. stochastic Pauli trajectories, including the first noisy
@@ -119,14 +121,14 @@ def collect_sim_engine_timings(
                 program, problem.hamiltonian, parameter_sets, engine=engine
             ),
         )
-        for engine in ("legacy", "inplace", "batched")
+        for engine in ("legacy", "inplace", "batched", "fused")
     }
     # Cross-engine agreement guard: a fast-but-wrong engine must not
     # produce a plausible-looking artifact.
     reference = sweep_energies(
         program, problem.hamiltonian, parameter_sets, engine="legacy"
     )
-    for engine in ("inplace", "batched"):
+    for engine in ("inplace", "batched", "fused"):
         candidate = sweep_energies(
             program, problem.hamiltonian, parameter_sets, engine=engine
         )
@@ -150,6 +152,12 @@ def collect_sim_engine_timings(
         "sweep_seconds": {k: round(v, 6) for k, v in seconds.items()},
         "speedup_inplace_vs_legacy": round(seconds["legacy"] / seconds["inplace"], 2),
         "speedup_batched_vs_legacy": round(seconds["legacy"] / seconds["batched"], 2),
+        "note": (
+            "legacy/inplace/batched apply exp(i*theta*P) at the Pauli level; "
+            "fused is the gate-level fast path (dense-block circuit kernels) "
+            "-- compare it against the gate-level baseline in the 'fusion' "
+            "section, not against the Pauli engines"
+        ),
         "gradient": {
             "parameter_shift_seconds": round(shift_seconds, 6),
             "adjoint_seconds": round(adjoint_seconds, 6),
@@ -188,6 +196,170 @@ def test_sim_engine_speedup_and_artifact():
     assert timings["num_qubits"] == 12
     assert timings["speedup_batched_vs_legacy"] >= minimum
     assert timings["gradient"]["speedup_adjoint_vs_parameter_shift"] > 1.0
+
+
+# ----------------------------------------------------------------------
+# Gate fusion + compile cache -> merged into BENCH_sim.json
+# ----------------------------------------------------------------------
+def _gate_level_sweep(program, hamiltonian, parameter_sets) -> np.ndarray:
+    """The unfused gate-level sweep: per-row synthesis, gate-by-gate apply.
+
+    This is what a circuit simulator without fusion must do for a
+    parameter sweep -- every row carries its own RZ angles, so the chain
+    is re-synthesized and walked gate by gate for each parameter set.
+    """
+    from repro.sim.statevector import apply_circuit
+
+    engine = ExpectationEngine(hamiltonian)
+    energies = np.zeros(len(parameter_sets))
+    for k, theta in enumerate(np.asarray(parameter_sets, dtype=float)):
+        chain = synthesize_program_chain(program, theta)
+        energies[k] = engine.value(apply_circuit(chain))
+    return energies
+
+
+def collect_fusion_cache_timings(
+    molecule: str = "H2O",
+    batch_size: int = 24,
+    ratio: float = 0.3,
+    repeats: int = 2,
+    exact_molecules: tuple[str, ...] = TABLE2_MOLECULES,
+) -> dict:
+    """Gate-fusion and compile-cache timings (ISSUE-6).
+
+    Three rows merged into ``BENCH_sim.json``:
+
+    * ``fusion`` -- the ratio-compressed 12-qubit H2O sweep under the
+      unfused gate-level baseline vs. the ``"fused"`` engine (one chain
+      template, one cached fusion plan, per-row ``(K, 4, 4)`` batched
+      GEMMs).  The fused run clears the compile cache first, so the
+      speedup includes planning, not just replay.
+    * ``compile_cache`` -- one co-optimization ``Pipeline`` run cold
+      (empty cache) vs. rerun warm, with the cache counters.
+    * ``fusion_exact_molecules`` -- max statevector deviation of the
+      fused engine against the Pauli-evolution reference on every
+      Table II molecule (unitary-exactness evidence).
+    """
+    from repro.compiler.fusion import build_fusion_plan, fuse_circuit
+    from repro.core import Pipeline, PipelineConfig, clear_compile_cache, compile_cache
+    from repro.vqe.energy import StatevectorEnergy
+
+    problem = build_molecule_hamiltonian(molecule)
+    program = build_uccsd_program(problem).program
+    compressed = compress_ansatz(program, problem.hamiltonian, ratio).program
+    rng = np.random.default_rng(5)
+    parameter_sets = rng.normal(0.0, 0.1, (batch_size, compressed.num_parameters))
+
+    gate_seconds = _best_of(
+        repeats,
+        lambda: _gate_level_sweep(compressed, problem.hamiltonian, parameter_sets),
+    )
+
+    def fused_sweep():
+        clear_compile_cache()  # cold: the speedup must pay for planning
+        return sweep_energies(
+            compressed, problem.hamiltonian, parameter_sets, engine="fused"
+        )
+
+    fused_seconds = _best_of(repeats, fused_sweep)
+    np.testing.assert_allclose(
+        fused_sweep(),
+        _gate_level_sweep(compressed, problem.hamiltonian, parameter_sets),
+        atol=1e-8,
+    )
+    chain = synthesize_program_chain(compressed, [0.0] * compressed.num_parameters)
+    plan = build_fusion_plan(chain, "2q")
+    fused_program = fuse_circuit(chain, cache=False)
+
+    clear_compile_cache()
+    config = PipelineConfig(molecule=molecule, ratio=ratio)
+    cold_seconds = _best_of(1, lambda: Pipeline(config).run())
+    warm_seconds = _best_of(1, lambda: Pipeline(config).run())
+    cache_stats = compile_cache().stats.to_dict()
+
+    exactness = {}
+    for name in exact_molecules:
+        exact_problem = build_molecule_hamiltonian(name)
+        exact_program = compress_ansatz(
+            build_uccsd_program(exact_problem).program,
+            exact_problem.hamiltonian,
+            0.15,
+        ).program
+        theta = np.random.default_rng(7).normal(
+            0.0, 0.1, exact_program.num_parameters
+        )
+        reference = StatevectorEnergy(
+            exact_program, exact_problem.hamiltonian, engine="inplace"
+        )
+        fused = StatevectorEnergy(
+            exact_program, exact_problem.hamiltonian, engine="fused"
+        )
+        deviation = float(
+            np.max(np.abs(fused.state(theta) - reference.state(theta)))
+        )
+        exactness[name] = {
+            "num_qubits": exact_program.num_qubits,
+            "max_state_deviation": deviation,
+            "exact_to_1e-10": bool(deviation < 1e-10),
+        }
+
+    return {
+        "fusion": {
+            "workload": (
+                f"{molecule} ratio-{ratio} UCCSD gate-level sweep, "
+                f"{batch_size} parameter sets"
+            ),
+            "num_qubits": compressed.num_qubits,
+            "num_parameters": compressed.num_parameters,
+            "source_gates": len(chain.gates),
+            "fused_ops": fused_program.num_ops,
+            "fused_dense_blocks": plan.num_dense,
+            "gate_batched_seconds": round(gate_seconds, 6),
+            "fused_seconds": round(fused_seconds, 6),
+            "speedup_fused_vs_gate_batched": round(gate_seconds / fused_seconds, 2),
+        },
+        "compile_cache": {
+            "workload": (
+                f"Pipeline({molecule}, ratio={ratio}) cold run vs. warm rerun"
+            ),
+            "cold_seconds": round(cold_seconds, 6),
+            "warm_seconds": round(warm_seconds, 6),
+            "speedup_warm_vs_cold": round(cold_seconds / warm_seconds, 2),
+            **cache_stats,
+        },
+        "fusion_exact_molecules": exactness,
+    }
+
+
+def test_fusion_cache_speedups_and_artifact():
+    """ISSUE-6 acceptance: fused >=1.3x over the gate-level batched
+    baseline on the 12-qubit H2O sweep, warm pipeline rerun >=5x over
+    cold, and fusion unitary-exact on every Table II molecule; the rows
+    are merged into ``BENCH_sim.json``.
+
+    ``BENCH_FUSED_MIN_SPEEDUP`` / ``BENCH_CACHE_MIN_SPEEDUP`` relax the
+    wall-clock gates on shared CI runners; ``BENCH_FUSION_MOLECULES``
+    (comma-separated) restricts the exactness sweep where minutes matter.
+    """
+    import os
+
+    fused_minimum = float(os.environ.get("BENCH_FUSED_MIN_SPEEDUP", "1.3"))
+    cache_minimum = float(os.environ.get("BENCH_CACHE_MIN_SPEEDUP", "5.0"))
+    override = os.environ.get("BENCH_FUSION_MOLECULES")
+    molecules = tuple(override.split(",")) if override else TABLE2_MOLECULES
+    rows = collect_fusion_cache_timings(exact_molecules=molecules)
+    merged = json.loads(BENCH_SIM_PATH.read_text()) if BENCH_SIM_PATH.exists() else {}
+    merged.update(rows)
+    path = write_bench_sim_artifact(merged)
+    print()
+    print(json.dumps(rows, indent=2, sort_keys=True))
+    print(f"wrote {path}")
+    assert rows["fusion"]["num_qubits"] == 12
+    assert rows["fusion"]["speedup_fused_vs_gate_batched"] >= fused_minimum
+    assert rows["compile_cache"]["speedup_warm_vs_cold"] >= cache_minimum
+    assert rows["compile_cache"]["hits"] > 0
+    for name, row in rows["fusion_exact_molecules"].items():
+        assert row["exact_to_1e-10"], (name, row["max_state_deviation"])
 
 
 # ----------------------------------------------------------------------
@@ -432,7 +604,9 @@ def test_hamiltonian_construction_speed(benchmark):
 
 
 if __name__ == "__main__":
-    artifact = write_bench_sim_artifact(collect_sim_engine_timings())
+    sim_rows = collect_sim_engine_timings()
+    sim_rows.update(collect_fusion_cache_timings())
+    artifact = write_bench_sim_artifact(sim_rows)
     print(json.dumps(json.loads(artifact.read_text()), indent=2, sort_keys=True))
     print(f"wrote {artifact}")
     compiler_artifact = write_bench_compiler_artifact(

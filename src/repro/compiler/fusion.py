@@ -1,0 +1,444 @@
+"""Gate fusion: merge adjacent gates into dense 2x2 / 4x4 unitaries.
+
+The simulators apply circuits gate by gate, which is optimal for the
+cheap specialized kernels (X/Z/RZ/H/CX/...) but wasteful for long runs of
+small gates: every gate is a full sweep over the ``2**n`` amplitudes.
+Fusion trades per-gate sweeps for per-*block* sweeps -- a run of
+single-qubit gates collapses into one 2x2 matrix, single-qubit gates are
+absorbed into a neighboring two-qubit gate, and same-pair two-qubit runs
+collapse into one 4x4 -- each applied through the low-op-count dense
+kernel :func:`repro.sim.statevector.apply_unitary_inplace`.
+
+The pass is split into a **plan** and a **binding**:
+
+* :func:`build_fusion_plan` walks a :class:`~repro.circuit.circuit.Circuit`
+  or :class:`~repro.circuit.dag.CircuitDAG` once (greedy open-block
+  scan, see below) and records *which gate positions merge into which
+  blocks* -- pure structure, blind to parameter values, so one plan
+  serves every binding of a parameterized template and is cached under
+  the structural circuit hash (:func:`repro.core.cache.circuit_key` with
+  ``values=False``).
+* :meth:`FusionPlan.bind` multiplies out the block matrices for concrete
+  gate parameters, and :meth:`FusionPlan.bind_sweep` does the same with
+  per-row ``(K,)`` angle overrides, producing ``(K, 4, 4)`` matrix
+  stacks that evolve a ``(K, 2**n)`` statevector stack with one batched
+  GEMM per block -- the vectorization that per-row rotation angles deny
+  the plain batched engine.
+
+Greedy open-block scan: each qubit maps to at most one *open* block.  A
+1q gate joins (or opens) the block on its qubit; a 2q gate joins an open
+block on the same pair, absorbs open 1q blocks on its qubits, and
+flushes conflicting 2q blocks.  A block stays open while gates on
+disjoint qubits are emitted -- deferring it is safe because nothing
+emitted in between touches its qubits (anything that did would have
+joined or flushed it).  Blocks that end up with a single gate are
+emitted as *passthrough* ops so the specialized single-gate kernels keep
+handling them (a dense 4x4 would be slower than the cx slab swap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.dag import CircuitDAG
+from repro.circuit.gates import Gate
+from repro.sim.statevector import (
+    _SWAP_BITS_PERM,
+    apply_gate_inplace,
+    apply_unitary_inplace,
+)
+
+#: Valid values of the ``fusion=`` knob: ``"off"`` disables merging,
+#: ``"1q"`` merges single-qubit runs only, ``"2q"`` (default) also
+#: absorbs into / merges two-qubit blocks.
+FUSION_LEVELS = ("off", "1q", "2q")
+
+_I2 = np.eye(2, dtype=complex)
+
+
+def check_fusion_level(level: str) -> str:
+    if level not in FUSION_LEVELS:
+        raise ValueError(
+            f"unknown fusion level {level!r}; valid levels: "
+            f"{', '.join(FUSION_LEVELS)}"
+        )
+    return level
+
+
+def _gates_of(source: Circuit | CircuitDAG) -> tuple[int, list[Gate]]:
+    """The (num_qubits, topologically ordered gate list) of a source IR."""
+    if isinstance(source, CircuitDAG):
+        return source.num_qubits, list(source.topological_gates())
+    return source.num_qubits, list(source.gates)
+
+
+# ----------------------------------------------------------------------
+# Plan structure (parameter-value-blind)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanOp:
+    """One emitted operation of a fusion plan.
+
+    ``indices`` are positions into the source's topological gate list;
+    ``dense=False`` marks a passthrough single gate (kept on the
+    specialized kernels), ``dense=True`` a merged block whose ``qubits``
+    are sorted ascending (bit 0 of the block matrix index is the lowest
+    qubit).
+    """
+
+    qubits: tuple[int, ...]
+    indices: tuple[int, ...]
+    dense: bool
+
+
+@dataclass
+class _OpenBlock:
+    qubits: frozenset[int]
+    indices: list[int]
+    closed: bool = False
+
+
+@dataclass(frozen=True)
+class FusionPlan:
+    """Structural fusion decisions for one circuit template.
+
+    Immutable and value-blind: any circuit with the same gate kinds,
+    qubits, and parameter arities binds through the same plan, which is
+    what makes plans cacheable across the points of a parameter sweep.
+    """
+
+    num_qubits: int
+    level: str
+    ops: tuple[PlanOp, ...]
+    source_gates: int
+
+    @property
+    def num_dense(self) -> int:
+        return sum(1 for op in self.ops if op.dense)
+
+    def bind(self, source: Circuit | CircuitDAG) -> "FusedProgram":
+        """Multiply out block matrices for the source's concrete gates."""
+        return self._bind(source, {})
+
+    def bind_sweep(
+        self,
+        source: Circuit | CircuitDAG,
+        angle_overrides: Mapping[int, np.ndarray],
+    ) -> "FusedProgram":
+        """Bind with per-row angles: gate position -> ``(K,)`` angles.
+
+        Overridable gates are the single-angle rotations (rx/ry/rz).
+        Blocks containing an overridden gate get ``(K, dim, dim)``
+        per-row matrices; overridden passthrough gates are promoted to
+        dense per-row ops.  The resulting program must be applied to a
+        matching ``(K, 2**n)`` state stack.
+        """
+        return self._bind(source, dict(angle_overrides))
+
+    def _bind(
+        self,
+        source: Circuit | CircuitDAG,
+        overrides: dict[int, np.ndarray],
+    ) -> "FusedProgram":
+        num_qubits, gates = _gates_of(source)
+        if num_qubits != self.num_qubits or len(gates) != self.source_gates:
+            raise ValueError("source does not match the fusion plan's structure")
+        ops: list[FusedOp] = []
+        for op in self.ops:
+            overridden = any(index in overrides for index in op.indices)
+            if not op.dense and not overridden:
+                ops.append(FusedOp(qubits=op.qubits, gate=gates[op.indices[0]]))
+                continue
+            if not op.dense:
+                # Overridden passthrough rotation: promote to a per-row
+                # dense 2x2 stack.
+                gate = gates[op.indices[0]]
+                matrix = _rotation_matrices(gate.name, overrides[op.indices[0]])
+                ops.append(FusedOp(qubits=gate.qubits, matrix=matrix))
+                continue
+            dim = 1 << len(op.qubits)
+            matrix: np.ndarray = np.eye(dim, dtype=complex)
+            for index in op.indices:
+                expanded = _gate_block_matrix(
+                    gates[index], op.qubits, overrides.get(index)
+                )
+                # Later gates act after earlier ones: left-multiply.
+                # matmul broadcasts (K,d,d) against shared (d,d) freely.
+                matrix = np.matmul(expanded, matrix)
+            ops.append(FusedOp(qubits=op.qubits, matrix=matrix))
+        return FusedProgram(
+            num_qubits=self.num_qubits,
+            ops=tuple(ops),
+            source_gates=self.source_gates,
+        )
+
+
+# ----------------------------------------------------------------------
+# Bound programs (dense kernels ready to execute)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FusedOp:
+    """One executable op: a dense unitary block or a passthrough gate."""
+
+    qubits: tuple[int, ...]
+    matrix: np.ndarray | None = None
+    gate: Gate | None = None
+
+    @property
+    def is_dense(self) -> bool:
+        return self.matrix is not None
+
+
+@dataclass(frozen=True)
+class FusedProgram:
+    """A bound sequence of dense-unitary kernels and passthrough gates.
+
+    Immutable and safe to share across threads (``apply`` mutates only
+    the caller's buffer), which is what lets bound programs live in the
+    content-addressed compile cache.
+    """
+
+    num_qubits: int
+    ops: tuple[FusedOp, ...]
+    source_gates: int
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.ops)
+
+    @property
+    def num_dense(self) -> int:
+        return sum(1 for op in self.ops if op.is_dense)
+
+    def apply(self, state: np.ndarray) -> np.ndarray:
+        """Run the program on ``state`` by mutating it; returns ``state``.
+
+        ``state`` must be C-contiguous complex128 of shape
+        ``(..., 2**num_qubits)``; programs bound with per-row overrides
+        require a matching ``(K, 2**n)`` stack.
+        """
+        for op in self.ops:
+            if op.matrix is None:
+                apply_gate_inplace(state, op.gate, self.num_qubits)
+            else:
+                apply_unitary_inplace(state, op.matrix, op.qubits, self.num_qubits)
+        return state
+
+
+# ----------------------------------------------------------------------
+# Matrix assembly
+# ----------------------------------------------------------------------
+def _rotation_matrices(name: str, angles: np.ndarray) -> np.ndarray:
+    """Per-row rotation matrices, shape ``(K, 2, 2)``."""
+    angles = np.asarray(angles, dtype=float)
+    if angles.ndim != 1:
+        raise ValueError("angle overrides must be one-dimensional (K,) arrays")
+    half = 0.5 * angles
+    cos, sin = np.cos(half), np.sin(half)
+    out = np.zeros((len(angles), 2, 2), dtype=complex)
+    if name == "rz":
+        out[:, 0, 0] = cos - 1j * sin
+        out[:, 1, 1] = cos + 1j * sin
+    elif name == "rx":
+        out[:, 0, 0] = out[:, 1, 1] = cos
+        out[:, 0, 1] = out[:, 1, 0] = -1j * sin
+    elif name == "ry":
+        out[:, 0, 0] = out[:, 1, 1] = cos
+        out[:, 0, 1] = -sin
+        out[:, 1, 0] = sin
+    else:
+        raise ValueError(f"angle overrides support rx/ry/rz, not {name!r}")
+    return out
+
+
+def _expand_1q(matrix: np.ndarray, bit: int) -> np.ndarray:
+    """Lift a (batched) 2x2 onto ``bit`` of a two-qubit block index."""
+    if matrix.ndim == 2:
+        return np.kron(_I2, matrix) if bit == 0 else np.kron(matrix, _I2)
+    rows = matrix.shape[0]
+    if bit == 0:
+        return np.einsum("ab,kcd->kacbd", _I2, matrix).reshape(rows, 4, 4)
+    return np.einsum("kab,cd->kacbd", matrix, _I2).reshape(rows, 4, 4)
+
+
+def _gate_block_matrix(
+    gate: Gate,
+    block_qubits: tuple[int, ...],
+    override_angles: np.ndarray | None,
+) -> np.ndarray:
+    """The gate's matrix expanded to the block's index space.
+
+    ``block_qubits`` are sorted ascending; bit 0 of the block index is
+    the lowest qubit (the convention of
+    :func:`repro.sim.statevector.apply_unitary_inplace`).
+    """
+    if override_angles is not None:
+        if gate.num_qubits != 1:
+            raise ValueError("only single-qubit rotations can be overridden")
+        matrix = _rotation_matrices(gate.name, override_angles)
+    else:
+        matrix = gate.matrix()
+    if gate.num_qubits == 1:
+        if len(block_qubits) == 1:
+            return matrix
+        return _expand_1q(matrix, 0 if gate.qubits[0] == block_qubits[0] else 1)
+    if gate.qubits == block_qubits:
+        return matrix
+    # Reversed listing relative to the block: swap the two index bits.
+    return matrix[..., _SWAP_BITS_PERM, :][..., :, _SWAP_BITS_PERM]
+
+
+# ----------------------------------------------------------------------
+# The greedy planner
+# ----------------------------------------------------------------------
+def build_fusion_plan(
+    source: Circuit | CircuitDAG, level: str = "2q"
+) -> FusionPlan:
+    """Plan fusion blocks for a circuit or DAG (see module docstring)."""
+    check_fusion_level(level)
+    num_qubits, gates = _gates_of(source)
+    ops: list[PlanOp] = []
+    open_by_qubit: dict[int, _OpenBlock] = {}
+    open_order: list[_OpenBlock] = []
+
+    def emit(block: _OpenBlock) -> None:
+        block.closed = True
+        for qubit in block.qubits:
+            open_by_qubit.pop(qubit, None)
+        if len(block.indices) == 1:
+            index = block.indices[0]
+            ops.append(PlanOp(gates[index].qubits, (index,), dense=False))
+        else:
+            ops.append(
+                PlanOp(tuple(sorted(block.qubits)), tuple(block.indices), dense=True)
+            )
+
+    def absorb(block: _OpenBlock) -> list[int]:
+        block.closed = True
+        for qubit in block.qubits:
+            open_by_qubit.pop(qubit, None)
+        return block.indices
+
+    def open_block(qubits: frozenset[int], indices: list[int]) -> None:
+        block = _OpenBlock(qubits, indices)
+        for qubit in qubits:
+            open_by_qubit[qubit] = block
+        open_order.append(block)
+
+    for position, gate in enumerate(gates):
+        if gate.name in ("barrier", "measure") or level == "off":
+            for block in open_order:
+                if not block.closed:
+                    emit(block)
+            ops.append(PlanOp(gate.qubits, (position,), dense=False))
+            continue
+        if gate.num_qubits == 1:
+            qubit = gate.qubits[0]
+            block = open_by_qubit.get(qubit)
+            if block is None:
+                open_block(frozenset((qubit,)), [position])
+            else:
+                block.indices.append(position)
+            continue
+        if gate.num_qubits != 2:
+            raise ValueError(f"unsupported gate arity: {gate!r}")
+        qubit_a, qubit_b = gate.qubits
+        if level == "1q":
+            for qubit in (qubit_a, qubit_b):
+                block = open_by_qubit.get(qubit)
+                if block is not None:
+                    emit(block)
+            ops.append(PlanOp(gate.qubits, (position,), dense=False))
+            continue
+        block_a = open_by_qubit.get(qubit_a)
+        block_b = open_by_qubit.get(qubit_b)
+        if block_a is not None and block_a is block_b:
+            # Same-pair two-qubit block: extend it.
+            block_a.indices.append(position)
+            continue
+        # Conflicting two-qubit blocks (sharing one qubit with a
+        # different pair) must be emitted before this gate runs.
+        if block_a is not None and len(block_a.qubits) == 2:
+            emit(block_a)
+            block_a = None
+        if block_b is not None and len(block_b.qubits) == 2:
+            emit(block_b)
+            block_b = None
+        # Remaining open blocks are pure-1q runs on this gate's qubits:
+        # absorb them (their gates act on disjoint single qubits, so
+        # concatenating their index runs preserves semantics).
+        indices: list[int] = []
+        if block_a is not None:
+            indices.extend(absorb(block_a))
+        if block_b is not None:
+            indices.extend(absorb(block_b))
+        indices.append(position)
+        open_block(frozenset((qubit_a, qubit_b)), indices)
+
+    for block in open_order:
+        if not block.closed:
+            emit(block)
+    return FusionPlan(
+        num_qubits=num_qubits, level=level, ops=tuple(ops), source_gates=len(gates)
+    )
+
+
+# ----------------------------------------------------------------------
+# Cached entry points
+# ----------------------------------------------------------------------
+def _source_key(source: Circuit | CircuitDAG, *, values: bool) -> str:
+    from repro.core.cache import circuit_key, dag_key
+
+    if isinstance(source, CircuitDAG):
+        return dag_key(source, values=values)
+    return circuit_key(source, values=values)
+
+
+def fusion_plan(
+    source: Circuit | CircuitDAG,
+    *,
+    level: str = "2q",
+    cache=True,
+) -> FusionPlan:
+    """A fusion plan for ``source``, content-addressed when caching.
+
+    The cache key is the *structural* hash (gate kinds, qubits,
+    parameter arities), so every binding of one parameterized template
+    -- every optimizer iteration, every sweep point -- reuses one plan.
+    ``cache`` accepts True (the global compile cache), False/None (off),
+    or a :class:`~repro.core.cache.ContentAddressedCache` instance.
+    """
+    from repro.core.cache import resolve_cache
+
+    check_fusion_level(level)
+    store = resolve_cache(cache)
+    if store is None:
+        return build_fusion_plan(source, level)
+    key = ("fusion-plan", level, _source_key(source, values=False))
+    return store.get_or_compute(key, lambda: build_fusion_plan(source, level))
+
+
+def fuse_circuit(
+    source: Circuit | CircuitDAG,
+    *,
+    level: str = "2q",
+    cache=True,
+) -> FusedProgram:
+    """A bound :class:`FusedProgram` for ``source``.
+
+    The plan is cached under the structural hash; the bound program
+    under the value hash (parameters included), so repeated runs of an
+    identical circuit skip both planning and matrix assembly.
+    """
+    from repro.core.cache import resolve_cache
+
+    store = resolve_cache(cache)
+    plan = fusion_plan(source, level=level, cache=store if store is not None else False)
+    if store is None:
+        return plan.bind(source)
+    key = ("fused-program", level, _source_key(source, values=True))
+    return store.get_or_compute(key, lambda: plan.bind(source))

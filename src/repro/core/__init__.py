@@ -10,11 +10,27 @@
 * :mod:`repro.core.passes`      -- the composable pass-manager: named
   pipeline stages over a shared context, configured by
   :class:`~repro.core.passes.PipelineConfig`;
+* :mod:`repro.core.cache`       -- the content-addressed compile cache:
+  canonical SHA-256 hashes over circuits/DAGs/programs/Hamiltonians plus
+  a thread-safe LRU store with hit/miss/eviction counters, shared by the
+  pipeline passes and the gate-fusion engine;
 * :mod:`repro.core.pipeline`    -- the end-to-end co-optimization flow of
   Figure 1 as a :class:`~repro.core.pipeline.Pipeline` of passes, plus
   batch execution and serializable results.
 """
 
+from repro.core.cache import (
+    CacheStats,
+    ContentAddressedCache,
+    canonical_hash,
+    circuit_key,
+    clear_compile_cache,
+    compile_cache,
+    coupling_key,
+    dag_key,
+    pauli_sum_key,
+    program_key,
+)
 from repro.core.ir import IRTerm, PauliProgram
 from repro.core.importance import decay_factor, parameter_importance, string_score
 from repro.core.compression import CompressedAnsatz, compress_ansatz, random_ansatz
@@ -43,6 +59,16 @@ from repro.core.pipeline import (
 )
 
 __all__ = [
+    "CacheStats",
+    "ContentAddressedCache",
+    "canonical_hash",
+    "circuit_key",
+    "clear_compile_cache",
+    "compile_cache",
+    "coupling_key",
+    "dag_key",
+    "pauli_sum_key",
+    "program_key",
     "IRTerm",
     "PauliProgram",
     "decay_factor",

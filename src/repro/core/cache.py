@@ -1,0 +1,303 @@
+"""Content-addressed compile cache: canonical hashes + LRU memo store.
+
+The co-optimization loop recompiles the same artifacts hundreds of times:
+a bond scan rebuilds the UCCSD ansatz, the importance compression, the
+routed circuit, and the fused kernel plan for every point and every
+optimizer restart, even though most of that work depends only on the
+*content* of its inputs.  This module provides the two halves of the
+caching subsystem:
+
+* **Canonical hashes** -- deterministic SHA-256 digests over the content
+  that actually determines an artifact: gate kinds, qubits, and
+  parameter structure for circuits and DAGs (:func:`circuit_key`,
+  :func:`dag_key`), Pauli terms + coefficients + parameter wiring for
+  programs (:func:`program_key`), Hamiltonian terms
+  (:func:`pauli_sum_key`), and coupling-graph edges
+  (:func:`coupling_key`).  Two objects with the same content hash to the
+  same key regardless of identity, which is what lets ``run_batch``
+  workers and repeated ``Pipeline`` runs share artifacts.
+* :class:`ContentAddressedCache` -- a thread-safe LRU store with
+  hit/miss/eviction counters, used through :func:`compile_cache` (the
+  process-global instance the pipeline passes and the fusion engine
+  share) or as private instances (the importance-score memo).
+
+Circuit hashes come in two flavors, selected by ``values=``:
+
+* ``values=True`` includes rotation-angle bytes -- the key for artifacts
+  that bake values in (a bound :class:`~repro.compiler.fusion.FusedProgram`);
+* ``values=False`` records only the *parameter structure* (how many
+  angles each gate carries) -- the key for value-independent artifacts
+  (fusion plans, schedule reports, routed structure), so every point of
+  a parameter sweep hits the same entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from repro.circuit.circuit import Circuit
+    from repro.circuit.dag import CircuitDAG
+    from repro.circuit.gates import Gate
+    from repro.core.ir import PauliProgram
+    from repro.hardware.coupling import CouplingGraph
+    from repro.pauli import PauliSum
+
+
+# ----------------------------------------------------------------------
+# Canonical hashing
+# ----------------------------------------------------------------------
+def _feed(hasher, part: Any) -> None:
+    """Feed one key part into the hasher with an unambiguous encoding.
+
+    Each part is prefixed by a type tag and (for variable-length parts)
+    its byte length, so distinct structures can never collide by
+    concatenation (e.g. ``("ab", "c")`` vs ``("a", "bc")``).
+    """
+    if part is None:
+        hasher.update(b"N")
+    elif isinstance(part, bool):
+        hasher.update(b"B1" if part else b"B0")
+    elif isinstance(part, int):
+        encoded = str(part).encode()
+        hasher.update(b"I%d:" % len(encoded) + encoded)
+    elif isinstance(part, float):
+        hasher.update(b"F" + np.float64(part).tobytes())
+    elif isinstance(part, str):
+        encoded = part.encode()
+        hasher.update(b"S%d:" % len(encoded) + encoded)
+    elif isinstance(part, bytes):
+        hasher.update(b"Y%d:" % len(part) + part)
+    elif isinstance(part, np.ndarray):
+        data = np.ascontiguousarray(part)
+        hasher.update(b"A" + str(data.dtype).encode() + b":")
+        _feed(hasher, data.shape)
+        hasher.update(data.tobytes())
+    elif isinstance(part, (tuple, list)):
+        hasher.update(b"T%d:" % len(part))
+        for item in part:
+            _feed(hasher, item)
+    else:
+        raise TypeError(f"unhashable cache-key part of type {type(part).__name__}")
+
+
+def canonical_hash(*parts: Any) -> str:
+    """SHA-256 hex digest of a canonical encoding of ``parts``."""
+    hasher = hashlib.sha256()
+    for part in parts:
+        _feed(hasher, part)
+    return hasher.hexdigest()
+
+
+def _feed_gates(hasher, gates: Iterable["Gate"], *, values: bool) -> None:
+    for gate in gates:
+        _feed(hasher, gate.name)
+        _feed(hasher, gate.qubits)
+        if values:
+            _feed(hasher, np.asarray(gate.params, dtype=float))
+        else:
+            _feed(hasher, len(gate.params))
+
+
+def circuit_key(circuit: "Circuit", *, values: bool = True) -> str:
+    """Canonical hash of a circuit: gate kinds, qubits, parameters.
+
+    With ``values=False`` only the parameter *structure* (arity per
+    gate) is hashed, so all bindings of one template share a key.
+    """
+    hasher = hashlib.sha256()
+    _feed(hasher, ("circuit", circuit.num_qubits, values))
+    _feed_gates(hasher, circuit.gates, values=values)
+    return hasher.hexdigest()
+
+
+def dag_key(dag: "CircuitDAG", *, values: bool = True) -> str:
+    """Canonical hash of a :class:`~repro.circuit.dag.CircuitDAG`.
+
+    The append order is a topological order by construction, so hashing
+    the node sequence is deterministic; the ``commute`` flag is part of
+    the key because it changes the dependency structure compiler passes
+    see (two DAGs over the same gates are different IR objects).
+    """
+    hasher = hashlib.sha256()
+    _feed(hasher, ("dag", dag.num_qubits, bool(dag.commute), values))
+    _feed_gates(hasher, dag.topological_gates(), values=values)
+    return hasher.hexdigest()
+
+
+def program_key(program: "PauliProgram") -> str:
+    """Canonical hash of a Pauli program (terms, coefficients, wiring)."""
+    hasher = hashlib.sha256()
+    _feed(
+        hasher,
+        (
+            "program",
+            program.num_qubits,
+            program.num_parameters,
+            tuple(program.initial_occupations),
+        ),
+    )
+    for term in program.terms:
+        x, z = term.pauli.key()
+        _feed(hasher, (x, z, float(term.coefficient), term.parameter_index))
+    return hasher.hexdigest()
+
+
+def pauli_sum_key(pauli_sum: "PauliSum") -> str:
+    """Canonical hash of a Pauli sum (e.g. a Hamiltonian)."""
+    hasher = hashlib.sha256()
+    _feed(hasher, ("pauli_sum", pauli_sum.num_qubits))
+    for (x, z), coefficient in pauli_sum.items():
+        _feed(hasher, (x, z, float(coefficient.real), float(coefficient.imag)))
+    return hasher.hexdigest()
+
+
+def coupling_key(device: "CouplingGraph") -> str:
+    """Canonical hash of a coupling graph (name, size, edge set)."""
+    return canonical_hash(
+        "coupling",
+        device.name,
+        device.num_qubits,
+        tuple(tuple(edge) for edge in sorted(device.edges)),
+    )
+
+
+# ----------------------------------------------------------------------
+# The LRU store
+# ----------------------------------------------------------------------
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, hit_rate={self.hit_rate:.2%})"
+        )
+
+
+class ContentAddressedCache:
+    """Thread-safe LRU memo keyed by canonical content hashes.
+
+    Values are treated as immutable shared artifacts: a hit returns the
+    same object every caller sees, which is safe for the compiled /
+    fused / scheduled records stored here (none are mutated after
+    construction).  ``max_entries`` bounds memory; the least recently
+    used entry is evicted (and counted) on overflow.
+    """
+
+    def __init__(self, max_entries: int = 512, name: str = "compile-cache"):
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self.name = name
+        self.stats = CacheStats()
+        self._entries: OrderedDict[Any, Any] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get_or_compute(self, key: Any, compute: Callable[[], Any]) -> Any:
+        """The cached value for ``key``, computing and storing on a miss.
+
+        ``compute`` runs outside the lock so concurrent pipeline workers
+        never serialize on a slow compile; two threads racing the same
+        cold key may both compute, and the later result wins -- wasted
+        work, never a wrong answer (values are content-determined).
+        """
+        with self._lock:
+            if key in self._entries:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self.stats.misses += 1
+        value = compute()
+        self._store(key, value)
+        return value
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        with self._lock:
+            if key in self._entries:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self.stats.misses += 1
+            return default
+
+    def put(self, key: Any, value: Any) -> None:
+        self._store(key, value)
+
+    def _store(self, key: Any, value: Any) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def __contains__(self, key: Any) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+    def __repr__(self) -> str:
+        return (
+            f"ContentAddressedCache({self.name!r}, {len(self._entries)}"
+            f"/{self.max_entries} entries, {self.stats!r})"
+        )
+
+
+_COMPILE_CACHE = ContentAddressedCache(max_entries=512, name="compile-cache")
+
+
+def compile_cache() -> ContentAddressedCache:
+    """The process-global compile cache (pipelines, fusion plans)."""
+    return _COMPILE_CACHE
+
+
+def clear_compile_cache() -> None:
+    """Drop all globally cached compile artifacts and reset counters."""
+    _COMPILE_CACHE.clear()
+
+
+def resolve_cache(
+    cache: "ContentAddressedCache | bool | None",
+) -> "ContentAddressedCache | None":
+    """Normalize a ``cache=`` knob: True -> global, False/None -> off."""
+    if cache is True:
+        return _COMPILE_CACHE
+    if cache is False or cache is None:
+        return None
+    return cache

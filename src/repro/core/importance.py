@@ -54,17 +54,36 @@ def string_score(
     return score
 
 
+#: String-score memos keyed per (Hamiltonian content, decay base): each
+#: entry is a lazily filled ``pauli.key() -> score`` dict shared across
+#: calls, so sweep loops that score many programs against one
+#: Hamiltonian (ratio scans, ablations, repeated compression) pay for
+#: each distinct string once per process instead of once per call.
+_SCORE_MEMOS = None
+
+
+def _score_memo(hamiltonian: PauliSum, decay_base: float) -> dict:
+    global _SCORE_MEMOS
+    from repro.core.cache import ContentAddressedCache, pauli_sum_key
+
+    if _SCORE_MEMOS is None:
+        _SCORE_MEMOS = ContentAddressedCache(max_entries=32, name="importance-scores")
+    key = (pauli_sum_key(hamiltonian), float(decay_base))
+    return _SCORE_MEMOS.get_or_compute(key, dict)
+
+
 def parameter_importance(
     program: PauliProgram, hamiltonian: PauliSum, *, decay_base: float = 2.0
 ) -> np.ndarray:
     """Importance of every parameter: sum of its strings' scores.
 
-    Complexity O(n * #Pa * #PH), as stated in Section III-A.
+    Complexity O(n * #Pa * #PH), as stated in Section III-A, with the
+    per-string scores memoized across calls (see :data:`_SCORE_MEMOS`).
     """
     if program.num_qubits != hamiltonian.num_qubits:
         raise ValueError("program and Hamiltonian qubit counts differ")
     importance = np.zeros(program.num_parameters)
-    score_cache: dict[tuple[int, int], float] = {}
+    score_cache = _score_memo(hamiltonian, decay_base)
     for term in program:
         key = term.pauli.key()
         score = score_cache.get(key)

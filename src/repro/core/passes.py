@@ -51,7 +51,7 @@ class PipelineConfig:
     ``layout`` is one of :data:`LAYOUT_SCHEMES`; ``seed`` feeds the SABRE
     baseline's tie-breaking RNG; ``engine`` selects the simulation fast
     path (:data:`repro.sim.statevector.ENGINES`:
-    ``"inplace"``/``"batched"``/``"legacy"``) used by the optional
+    ``"inplace"``/``"batched"``/``"fused"``/``"legacy"``) used by the optional
     :class:`Energy` stage and anything else that simulates the staged
     ansatz; ``trajectories`` sizes the stochastic Pauli-trajectory
     noise engine when the :class:`Energy` stage runs with
@@ -66,6 +66,15 @@ class PipelineConfig:
     compiler and the :class:`Compress` stage reports how many CNOTs the
     adjacency vs. commutation-aware peephole passes remove from the
     compressed circuit.
+
+    ``fusion`` selects the gate-fusion level for the ``"fused"``
+    simulation engine (:data:`repro.compiler.fusion.FUSION_LEVELS`);
+    ``cache`` turns the content-addressed compile cache
+    (:mod:`repro.core.cache`) on or off: with it on (the default), the
+    ansatz build, compression, layout, routing, and schedule metrics of
+    a run are memoized under canonical content hashes, so repeated
+    pipelines, ``run_batch`` workers, and ``bond_scan`` points sharing
+    structure skip recompilation entirely.
     """
 
     molecule: str = "H2"
@@ -75,6 +84,8 @@ class PipelineConfig:
     compiler: str = "mtr"
     layout: str = "auto"
     engine: str = "inplace"
+    fusion: str = "2q"
+    cache: bool = True
     trajectories: int = 256
     dag: bool = True
     commute: bool = False
@@ -128,6 +139,24 @@ class PipelineContext:
         return value
 
 
+def _compile_store(context: PipelineContext):
+    """The compile cache selected by ``config.cache`` (None when off)."""
+    from repro.core.cache import resolve_cache
+
+    return resolve_cache(context.config.cache)
+
+
+def _hamiltonian_key(context: PipelineContext) -> str:
+    """The problem Hamiltonian's content hash, computed once per run."""
+    from repro.core.cache import pauli_sum_key
+
+    key = context.artifacts.get("hamiltonian_key")
+    if key is None:
+        key = pauli_sum_key(context.problem.hamiltonian)
+        context.artifacts["hamiltonian_key"] = key
+    return key
+
+
 class Pass:
     """One named stage of the pipeline."""
 
@@ -158,7 +187,12 @@ class BuildProblem(Pass):
 
 
 class BuildAnsatz(Pass):
-    """Problem -> full UCCSD Pauli-string program."""
+    """Problem -> full UCCSD Pauli-string program.
+
+    Content-addressed under the Hamiltonian hash when ``config.cache``
+    is on: every pipeline, batch worker, or scan point over the same
+    molecular instance shares one built ansatz.
+    """
 
     name = "build_ansatz"
 
@@ -166,7 +200,14 @@ class BuildAnsatz(Pass):
         from repro.ansatz.uccsd import build_uccsd_program
 
         problem = context.require("problem", self.name)
-        context.ansatz = build_uccsd_program(problem)
+        store = _compile_store(context)
+        if store is None:
+            context.ansatz = build_uccsd_program(problem)
+            return
+        key = ("uccsd-ansatz", _hamiltonian_key(context))
+        context.ansatz = store.get_or_compute(
+            key, lambda: build_uccsd_program(problem)
+        )
 
 
 class Compress(Pass):
@@ -183,27 +224,54 @@ class Compress(Pass):
     def run(self, context: PipelineContext) -> None:
         problem = context.require("problem", self.name)
         ansatz = context.require("ansatz", self.name)
-        context.compressed = compress_ansatz(
-            ansatz.program,
-            problem.hamiltonian,
-            context.config.ratio,
-            decay_base=context.config.decay_base,
-        )
-        if context.config.commute:
-            from repro.compiler.cancellation import cancel_gates
-            from repro.compiler.synthesis import synthesize_program_chain
+        store = _compile_store(context)
 
+        def compress():
+            return compress_ansatz(
+                ansatz.program,
+                problem.hamiltonian,
+                context.config.ratio,
+                decay_base=context.config.decay_base,
+            )
+
+        if store is None:
+            context.compressed = compress()
+        else:
+            from repro.core.cache import program_key
+
+            key = (
+                "compress",
+                program_key(ansatz.program),
+                _hamiltonian_key(context),
+                float(context.config.ratio),
+                float(context.config.decay_base),
+            )
+            context.compressed = store.get_or_compute(key, compress)
+        if context.config.commute:
             program = context.compressed.program
-            chain = synthesize_program_chain(
-                program, [0.0] * program.num_parameters
-            )
-            context.metrics["chain_cnots"] = int(chain.num_cnots())
-            context.metrics["chain_cnots_adjacency"] = int(
-                cancel_gates(chain).num_cnots()
-            )
-            context.metrics["chain_cnots_commute"] = int(
-                cancel_gates(chain, commute=True).num_cnots()
-            )
+            if store is None:
+                context.metrics.update(_chain_cnot_metrics(program))
+            else:
+                from repro.core.cache import program_key
+
+                key = ("chain-cnot-metrics", program_key(program))
+                context.metrics.update(
+                    store.get_or_compute(key, lambda: _chain_cnot_metrics(program))
+                )
+
+
+def _chain_cnot_metrics(program) -> dict[str, int]:
+    """CNOT counts of the chain-synthesized program under the peephole
+    cancellation passes (the Section VII "deeper optimization" numbers)."""
+    from repro.compiler.cancellation import cancel_gates
+    from repro.compiler.synthesis import synthesize_program_chain
+
+    chain = synthesize_program_chain(program, [0.0] * program.num_parameters)
+    return {
+        "chain_cnots": int(chain.num_cnots()),
+        "chain_cnots_adjacency": int(cancel_gates(chain).num_cnots()),
+        "chain_cnots_commute": int(cancel_gates(chain, commute=True).num_cnots()),
+    }
 
 
 class InitialLayout(Pass):
@@ -223,18 +291,32 @@ class InitialLayout(Pass):
         if scheme == "auto":
             scheme = get_compiler(context.config.compiler).default_layout
         if scheme == "hierarchical":
-            context.initial_layout = hierarchical_initial_layout(
-                compressed.program, context.device
-            )
+            builder = hierarchical_initial_layout
         elif scheme == "trivial":
-            context.initial_layout = trivial_layout(compressed.program, context.device)
+            builder = trivial_layout
         elif scheme == "none":
             context.initial_layout = None
+            return
         else:
             raise ValueError(
                 f"unknown layout scheme {scheme!r}; "
                 f"valid schemes: {', '.join(LAYOUT_SCHEMES)}"
             )
+        store = _compile_store(context)
+        if store is None:
+            context.initial_layout = builder(compressed.program, context.device)
+            return
+        from repro.core.cache import coupling_key, program_key
+
+        key = (
+            "initial-layout",
+            scheme,
+            program_key(compressed.program),
+            coupling_key(context.device),
+        )
+        context.initial_layout = store.get_or_compute(
+            key, lambda: builder(compressed.program, context.device)
+        )
 
 
 class Route(Pass):
@@ -250,13 +332,33 @@ class Route(Pass):
         if context.device is None:
             context.device = get_device(context.config.device)
         compiler = get_compiler(context.config.compiler)
-        context.compiled = compiler.compile(
-            compressed.program,
-            context.device,
-            initial_layout=context.initial_layout,
-            seed=context.config.seed,
-            commute=context.config.commute,
+
+        def compile_program():
+            return compiler.compile(
+                compressed.program,
+                context.device,
+                initial_layout=context.initial_layout,
+                seed=context.config.seed,
+                commute=context.config.commute,
+            )
+
+        store = _compile_store(context)
+        if store is None:
+            context.compiled = compile_program()
+            return
+        from repro.core.cache import coupling_key, program_key
+
+        layout = context.initial_layout
+        key = (
+            "route",
+            context.config.compiler,
+            coupling_key(context.device),
+            program_key(compressed.program),
+            None if layout is None else tuple(sorted(layout.items())),
+            context.config.seed,
+            context.config.commute,
         )
+        context.compiled = store.get_or_compute(key, compile_program)
 
 
 class Energy(Pass):
@@ -280,6 +382,8 @@ class Energy(Pass):
         *,
         backend: str = "statevector",
         engine: str | None = None,
+        fusion: str | None = None,
+        cache: bool | None = None,
         gradient: str | None = None,
         noise: Any = None,
         trajectories: int | None = None,
@@ -288,6 +392,8 @@ class Energy(Pass):
     ):
         self.backend = backend
         self.engine = engine
+        self.fusion = fusion
+        self.cache = cache
         self.gradient = gradient
         self.noise = noise
         self.trajectories = trajectories
@@ -307,6 +413,8 @@ class Energy(Pass):
             problem.hamiltonian,
             backend=self.backend,
             engine=self.engine or context.config.engine,
+            fusion=self.fusion or context.config.fusion,
+            cache=context.config.cache if self.cache is None else self.cache,
             gradient=self.gradient,
             noise=self.noise,
             trajectories=self.trajectories or context.config.trajectories,
@@ -382,7 +490,19 @@ def collect_metrics(context: PipelineContext) -> dict[str, Any]:
         if config.dag:
             from repro.compiler.metrics import schedule_report
 
-            schedule = schedule_report(context.compiled.circuit)
+            circuit = context.compiled.circuit
+            store = _compile_store(context)
+            if store is None:
+                schedule = schedule_report(circuit)
+            else:
+                from repro.core.cache import circuit_key
+
+                # Depth/duration depend only on the gate structure, so
+                # the value-blind hash shares one report across bindings.
+                key = ("schedule-report", circuit_key(circuit, values=False))
+                schedule = store.get_or_compute(
+                    key, lambda: schedule_report(circuit)
+                )
             metrics["depth"] = int(schedule.depth)
             metrics["scheduled_depth"] = int(schedule.scheduled_depth)
             metrics["duration_ns"] = float(schedule.duration_ns)

@@ -20,8 +20,9 @@
 * :mod:`repro.sim.exact` -- sparse exact ground-state solver ("Ground
   State" reference curves in Figure 9).
 
-Engine selection (``"inplace"`` / ``"batched"`` / ``"legacy"``) is
-documented in ``docs/performance.md``.
+Engine selection (``"inplace"`` / ``"batched"`` / ``"fused"`` /
+``"legacy"``) is documented in ``docs/performance.md``; the ``"fused"``
+engine's dense-block planner lives in :mod:`repro.compiler.fusion`.
 """
 
 from repro.sim.statevector import (
@@ -30,6 +31,7 @@ from repro.sim.statevector import (
     apply_circuit,
     apply_circuit_inplace,
     apply_gate_inplace,
+    apply_unitary_inplace,
     basis_state,
     check_engine,
     checked_probabilities,
@@ -68,6 +70,7 @@ __all__ = [
     "apply_circuit",
     "apply_circuit_inplace",
     "apply_gate_inplace",
+    "apply_unitary_inplace",
     "apply_pauli",
     "apply_pauli_exponential",
     "check_engine",

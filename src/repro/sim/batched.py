@@ -39,7 +39,7 @@ from repro.sim.pauli_evolution import (
     cached_xor_indices,
     pauli_sign_factor,
 )
-from repro.sim.statevector import apply_gate_inplace, basis_state
+from repro.sim.statevector import apply_gate_inplace, basis_state, check_engine
 
 #: Angles with |cos| below this fall back to the exact two-scaling
 #: update instead of the deferred-cosine ``tan`` form (tan degrades
@@ -105,9 +105,24 @@ class BatchedStatevector:
         apply_gate_inplace(self.states, gate, self.num_qubits)
         return self
 
-    def apply_circuit(self, circuit: Circuit) -> "BatchedStatevector":
+    def apply_circuit(
+        self, circuit: Circuit, *, engine: str = "inplace"
+    ) -> "BatchedStatevector":
+        """Run one circuit on every row.
+
+        ``engine="fused"`` merges adjacent gates into dense unitary
+        blocks first (:mod:`repro.compiler.fusion`); the other engines
+        apply gate by gate (all equivalent at this granularity, and the
+        per-gate kernels already broadcast over the batch axis).
+        """
+        check_engine(engine)
         if circuit.num_qubits != self.num_qubits:
             raise ValueError("qubit count mismatch")
+        if engine == "fused":
+            from repro.compiler.fusion import fuse_circuit
+
+            fuse_circuit(circuit).apply(self.states)
+            return self
         for gate in circuit.gates:
             apply_gate_inplace(self.states, gate, self.num_qubits)
         return self

@@ -15,6 +15,11 @@ Two engines implement gate application:
   builds on.
 * ``"legacy"`` -- the original out-of-place ``tensordot`` contraction,
   kept verbatim as the reference semantics (and regression guard).
+* ``"fused"`` -- gate fusion (:mod:`repro.compiler.fusion`): runs of
+  adjacent gates are merged into dense 2x2/4x4 unitaries ahead of time
+  and applied through :func:`apply_unitary_inplace`, a low-op-count
+  gather/GEMM/scatter kernel that also accepts per-row ``(K, 4, 4)``
+  matrix stacks for vectorized parameter sweeps.
 
 ``apply_gate`` / ``apply_circuit`` keep their original copy-out
 signatures as compatibility shims over the in-place kernels.
@@ -33,7 +38,7 @@ _SQRT1_2 = 1.0 / math.sqrt(2.0)
 
 #: Valid values of the ``engine`` argument accepted across the stack
 #: (simulator, energy backends, pipeline config).
-ENGINES = ("inplace", "batched", "legacy")
+ENGINES = ("inplace", "batched", "fused", "legacy")
 
 
 def check_engine(engine: str) -> str:
@@ -185,12 +190,7 @@ def apply_gate_inplace(state: np.ndarray, gate: Gate, num_qubits: int) -> np.nda
     name = gate.name
     if name in ("barrier", "measure"):
         return state
-    if not state.flags.c_contiguous or state.dtype != np.complex128:
-        raise ValueError(
-            "in-place kernels need a C-contiguous complex128 buffer "
-            "(a non-contiguous view would silently reshape into a copy); "
-            "use apply_gate/apply_circuit for arbitrary inputs"
-        )
+    _check_inplace_buffer(state)
     # Flatten any batch axes into one leading axis (always present, so
     # slab indexing below always yields writable views, never scalars).
     tensor = state.reshape((-1,) + (2,) * num_qubits)
@@ -241,6 +241,88 @@ def apply_gate_inplace(state: np.ndarray, gate: Gate, num_qubits: int) -> np.nda
     raise ValueError(f"unsupported gate arity: {gate!r}")
 
 
+#: Matrix-index permutation that swaps the roles of the two qubit bits
+#: of a 4x4 unitary (index ``(b << 1) | a``  ->  ``(a << 1) | b``).
+_SWAP_BITS_PERM = (0, 2, 1, 3)
+
+
+def _check_inplace_buffer(state: np.ndarray) -> None:
+    if not state.flags.c_contiguous or state.dtype != np.complex128:
+        raise ValueError(
+            "in-place kernels need a C-contiguous complex128 buffer "
+            "(a non-contiguous view would silently reshape into a copy); "
+            "use apply_gate/apply_circuit for arbitrary inputs"
+        )
+
+
+def apply_unitary_inplace(
+    state: np.ndarray,
+    matrix: np.ndarray,
+    qubits: tuple[int, ...],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply a dense 1q/2q unitary to ``state`` by mutating it.
+
+    ``state`` must be C-contiguous complex128 of shape
+    ``(..., 2**num_qubits)``.  ``matrix`` is ``(2, 2)`` / ``(4, 4)``
+    (shared across any leading batch axes) or a per-row stack
+    ``(K, 2, 2)`` / ``(K, 4, 4)`` matched to a ``(K, 2**n)`` state --
+    the vectorized-sweep path, where every row evolves under its own
+    bound matrix in one batched GEMM.
+
+    For two-qubit unitaries the matrix convention follows
+    :mod:`repro.circuit.gates`: the first entry of ``qubits`` is the
+    least significant bit of the 2-bit matrix index.  The kernel is a
+    three-pass gather / GEMM / scatter (one strided copy into ``(.., 4)``
+    rows, one ``matmul``, one strided write-back), deliberately far
+    cheaper per amplitude than the generic slab loop -- that is what
+    makes fused dense blocks profitable against the specialized
+    single-gate kernels.
+    """
+    _check_inplace_buffer(state)
+    matrix = np.asarray(matrix, dtype=complex)
+    arity = len(qubits)
+    if arity == 1:
+        qubit = qubits[0]
+        lo = 1 << qubit
+        hi = 1 << (num_qubits - 1 - qubit)
+        view = state.reshape(-1, hi, 2, lo)
+        # Move the qubit axis last so each amplitude pair is one GEMM row.
+        moved = view.transpose(0, 1, 3, 2)
+    elif arity == 2:
+        qubit_a, qubit_b = qubits
+        if qubit_a == qubit_b:
+            raise ValueError("two-qubit unitary needs distinct qubits")
+        if qubit_a > qubit_b:
+            # Normalize to ascending qubits: permute the matrix so bit 0
+            # of its index is the lower qubit.
+            matrix = matrix[..., _SWAP_BITS_PERM, :][..., :, _SWAP_BITS_PERM]
+            qubit_a, qubit_b = qubit_b, qubit_a
+        lo = 1 << qubit_a
+        mid = 1 << (qubit_b - qubit_a - 1)
+        hi = 1 << (num_qubits - 1 - qubit_b)
+        view = state.reshape(-1, hi, 2, mid, 2, lo)
+        # Bring (qubit_b bit, qubit_a bit) last: combined index
+        # ``(bit_b << 1) | bit_a`` matches the matrix convention.
+        moved = view.transpose(0, 1, 3, 5, 2, 4)
+    else:
+        raise ValueError("dense unitary kernels support 1- and 2-qubit blocks only")
+    dim = 1 << arity
+    if matrix.ndim == 3:
+        if state.ndim != 2 or matrix.shape[0] != state.shape[0]:
+            raise ValueError(
+                "per-row matrix stacks require a matching (K, 2**n) state stack"
+            )
+        rows = matrix.shape[0]
+        gathered = moved.reshape(rows, -1, dim)  # strided view -> copy
+        updated = np.matmul(gathered, matrix.transpose(0, 2, 1))
+    else:
+        gathered = moved.reshape(-1, dim)
+        updated = gathered @ matrix.T
+    moved[...] = updated.reshape(moved.shape)
+    return state
+
+
 def apply_circuit_inplace(circuit: Circuit, state: np.ndarray) -> np.ndarray:
     """Run a circuit on ``state`` by mutating it; returns ``state``.
 
@@ -272,7 +354,9 @@ def apply_circuit(
     The input state is never mutated.  ``engine="legacy"`` selects the
     original out-of-place tensordot path; ``"inplace"`` (and
     ``"batched"``, identical at this granularity) copy once and then
-    mutate the copy gate by gate.
+    mutate the copy gate by gate; ``"fused"`` merges adjacent gates into
+    dense unitary blocks first (plans are content-addressed, so repeated
+    runs of structurally identical circuits skip the planning).
     """
     check_engine(engine)
     if state is None:
@@ -284,6 +368,10 @@ def apply_circuit(
         for gate in circuit.gates:
             current = _apply_gate_legacy(current, gate, circuit.num_qubits)
         return current
+    if engine == "fused":
+        from repro.compiler.fusion import fuse_circuit
+
+        return fuse_circuit(circuit).apply(current)
     return apply_circuit_inplace(circuit, current)
 
 
@@ -310,6 +398,10 @@ class StatevectorSimulator:
         if self.engine == "legacy":
             for gate in circuit.gates:
                 self.state = _apply_gate_legacy(self.state, gate, self.num_qubits)
+        elif self.engine == "fused":
+            from repro.compiler.fusion import fuse_circuit
+
+            fuse_circuit(circuit).apply(self.state)
         else:
             apply_circuit_inplace(circuit, self.state)
         return self.state

@@ -42,9 +42,13 @@ def _reject_noise(backend: str, noise: DepolarizingNoiseModel | None) -> None:
         )
 
 
-def _statevector_backend(program, hamiltonian, *, noise, shots_per_group, seed, engine):
+def _statevector_backend(
+    program, hamiltonian, *, noise, shots_per_group, seed, engine, fusion, cache
+):
     _reject_noise("statevector", noise)
-    return StatevectorEnergy(program, hamiltonian, engine=engine)
+    return StatevectorEnergy(
+        program, hamiltonian, engine=engine, fusion=fusion, cache=cache
+    )
 
 
 def _density_matrix_backend(program, hamiltonian, *, noise, shots_per_group, seed):
@@ -88,9 +92,10 @@ def register_backend(
     The factory is called as ``factory(program, hamiltonian, noise=...,
     shots_per_group=..., seed=...)`` and must return a callable mapping
     a parameter vector to a float energy.  Factories that declare an
-    ``engine`` or ``trajectories`` keyword (or ``**kwargs``)
-    additionally receive the simulation-engine name
-    (:data:`repro.sim.statevector.ENGINES`) and/or the trajectory count;
+    ``engine``, ``trajectories``, ``fusion``, or ``cache`` keyword (or
+    ``**kwargs``) additionally receive the simulation-engine name
+    (:data:`repro.sim.statevector.ENGINES`), the trajectory count,
+    the gate-fusion level, and/or the compile-cache selector;
     backends that don't use them may simply not declare them.  A factory
     that cannot honor a non-trivial ``noise`` model must raise rather
     than drop it silently.
@@ -155,6 +160,8 @@ class VQE:
         *,
         backend: str = "statevector",
         engine: str = "inplace",
+        fusion: str = "2q",
+        cache=True,
         gradient: str | None = None,
         noise: DepolarizingNoiseModel | None = None,
         shots_per_group: int = 4096,
@@ -185,7 +192,12 @@ class VQE:
         accepts_kwargs = any(
             p.kind is inspect.Parameter.VAR_KEYWORD for p in factory_params.values()
         )
-        for knob, value in (("engine", engine), ("trajectories", trajectories)):
+        for knob, value in (
+            ("engine", engine),
+            ("trajectories", trajectories),
+            ("fusion", fusion),
+            ("cache", cache),
+        ):
             if knob in factory_params or accepts_kwargs:
                 factory_kwargs[knob] = value
         self.energy = factory(program, hamiltonian, **factory_kwargs)
@@ -210,6 +222,8 @@ class VQE:
             self.gradient = None
         self.backend = backend
         self.engine = engine
+        self.fusion = fusion
+        self.cache = cache
         self.program = program
         self.hamiltonian = hamiltonian
         self.method = method

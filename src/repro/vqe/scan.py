@@ -81,20 +81,24 @@ def sweep_energies(
     parameter_sets: Sequence[Sequence[float]],
     *,
     engine: str = "batched",
+    fusion: str = "2q",
+    cache=True,
 ) -> np.ndarray:
     """Energies of K parameter sets for one (program, Hamiltonian).
 
     Under the default ``"batched"`` engine the K points are stacked into
     a ``(K, 2**n)`` statevector array and every ansatz term is applied
-    to all points in one vectorized call; ``"inplace"``/``"legacy"``
-    evaluate sequentially (the comparison baselines in
-    ``BENCH_sim.json``).
+    to all points in one vectorized call; ``"fused"`` runs the
+    gate-level equivalent (one chain-synthesized template, a cached
+    fusion plan, per-row dense kernels; ``fusion``/``cache`` tune it);
+    ``"inplace"``/``"legacy"`` evaluate sequentially (the comparison
+    baselines in ``BENCH_sim.json``).
     """
     from repro.vqe.energy import StatevectorEnergy
 
-    return StatevectorEnergy(program, hamiltonian, engine=engine).values(
-        np.asarray(parameter_sets, dtype=float)
-    )
+    return StatevectorEnergy(
+        program, hamiltonian, engine=engine, fusion=fusion, cache=cache
+    ).values(np.asarray(parameter_sets, dtype=float))
 
 
 def bond_scan(
@@ -104,6 +108,8 @@ def bond_scan(
     *,
     backend: str = "statevector",
     engine: str = "inplace",
+    fusion: str = "2q",
+    cache=True,
     gradient: str | None = None,
     noise: DepolarizingNoiseModel | None = None,
     trajectories: int = 256,
@@ -116,6 +122,8 @@ def bond_scan(
     selects the stochastic Pauli-trajectory noisy path, which is the
     only way to run noisy sweeps on >12-qubit molecules; ``seed`` only
     feeds the configuration randomization (``randNN%`` ansatz subsets).
+    ``fusion``/``cache`` tune the ``engine="fused"`` gate-level path
+    (and the cache also dedupes repeated scan points' compile work).
     """
     points: list[ScanPoint] = []
     for bond_length in bond_lengths:
@@ -131,6 +139,8 @@ def bond_scan(
                 problem.hamiltonian,
                 backend=backend,
                 engine=engine,
+                fusion=fusion,
+                cache=cache,
                 gradient=gradient,
                 noise=noise,
                 trajectories=trajectories,
