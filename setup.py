@@ -15,6 +15,8 @@ setup(
     license="MIT",
     package_dir={"": "src"},
     packages=find_packages("src"),
+    # PEP 561: ship inline annotations to downstream type checkers.
+    package_data={"repro": ["py.typed"]},
     # 3.11 matches CI and the ruff target-version; numpy>=2.0 is required
     # for np.bitwise_count (repro.core.bits.popcount is the single place
     # that dependency lives -- it carries a SWAR fallback, but the

@@ -16,8 +16,13 @@ The public API re-exports the main entry points of each layer:
 * contribution 3:        :func:`repro.get_compiler` (Merge-to-Root /
   SABRE behind one interface)
 * VQE driver:            :class:`repro.VQE`
+* static verification:   :mod:`repro.analysis` --
+  :func:`repro.analysis.check` / :func:`repro.analysis.assert_clean`
+  over circuits, routed results, DAGs, fusion plans, and Pauli programs
+  (see ``docs/analysis.md``)
 """
 
+from repro import analysis
 from repro.pauli import PauliString, PauliSum
 from repro.core import (
     CoOptimizationResult,
@@ -35,6 +40,7 @@ from repro.vqe import VQE, VQEResult
 __version__ = "1.1.0"
 
 __all__ = [
+    "analysis",
     "PauliString",
     "PauliSum",
     "Pipeline",

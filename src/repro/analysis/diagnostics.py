@@ -1,0 +1,257 @@
+"""Diagnostics core of the static verification layer.
+
+The dynamic verifier (:func:`repro.compiler.verify.assert_routed_equivalent`)
+simulates both sides of an equivalence and is therefore exponential in
+qubit count; it is skipped on large circuits.  The static checks built on
+this module validate every compiled artifact in linear time, the role
+compiler verifiers play in production ML stacks: each :class:`Check`
+walks one structural invariant (coupling legality, gate-set conformance,
+layout permutation consistency, ...) and emits :class:`Diagnostic`
+records instead of raising, so one run reports *every* violation with a
+severity, a location, and a fix hint.
+
+The pieces:
+
+* :class:`Severity` / :class:`Diagnostic` -- one finding: which check,
+  how bad, where, and what to do about it;
+* :class:`CheckReport` -- the findings of one run, with ``ok``/``errors``
+  accessors, a JSON-safe :meth:`CheckReport.to_dict`, and
+  :meth:`CheckReport.raise_if_errors` for callers that want the
+  assert-style contract;
+* :class:`Check` -- base class: declares what it applies to and yields
+  diagnostics;
+* :class:`CheckRunner` -- runs every applicable check from a pluggable
+  registry (:func:`register_check` / :func:`default_checks`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is.
+
+    ``ERROR`` marks a violated structural invariant: the artifact is
+    wrong and downstream stages (simulation, hardware execution) would
+    produce garbage.  ``WARNING`` marks legal-but-suspicious structure.
+    ``INFO`` carries statistics a check wants to surface.
+    """
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one check.
+
+    ``location`` is a human-readable anchor ("gate 12", "qubit 5",
+    "node 3 -> 7"); ``fix_hint`` says what would make the finding go
+    away.  Both are optional but every built-in check sets them.
+    """
+
+    check: str
+    severity: Severity
+    message: str
+    location: str | None = None
+    fix_hint: str | None = None
+
+    def format(self) -> str:
+        where = f" at {self.location}" if self.location else ""
+        hint = f" (hint: {self.fix_hint})" if self.fix_hint else ""
+        return f"[{self.severity}] {self.check}{where}: {self.message}{hint}"
+
+    def __str__(self) -> str:
+        return self.format()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "check": self.check,
+            "severity": str(self.severity),
+            "message": self.message,
+            "location": self.location,
+            "fix_hint": self.fix_hint,
+        }
+
+
+class AnalysisError(RuntimeError):
+    """A static check found ERROR-severity diagnostics.
+
+    Raised by :meth:`CheckReport.raise_if_errors` (and therefore by the
+    pipeline's ``validate=`` path); carries the full report so callers
+    can inspect every finding, not just the first.
+    """
+
+    def __init__(self, report: "CheckReport", context: str = "") -> None:
+        self.report = report
+        prefix = f"{context}: " if context else ""
+        lines = [d.format() for d in report.errors]
+        super().__init__(
+            f"{prefix}{len(report.errors)} static-check error(s):\n  "
+            + "\n  ".join(lines)
+        )
+
+
+@dataclass
+class CheckReport:
+    """Findings of one :class:`CheckRunner` run over one artifact."""
+
+    subject: str = "artifact"
+    checks_run: list[str] = field(default_factory=list)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity diagnostic was produced."""
+        return not self.errors
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def by_check(self, name: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.check == name]
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def raise_if_errors(self, context: str = "") -> "CheckReport":
+        """Raise :class:`AnalysisError` when any ERROR was found."""
+        if not self.ok:
+            raise AnalysisError(self, context or self.subject)
+        return self
+
+    def summary(self) -> str:
+        return (
+            f"{self.subject}: {len(self.checks_run)} check(s), "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe snapshot (the CI diagnostics-report artifact rows)."""
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "checks_run": list(self.checks_run),
+            "num_errors": len(self.errors),
+            "num_warnings": len(self.warnings),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+class Check:
+    """One static invariant: applicability predicate + diagnostic walk.
+
+    Subclasses set ``name`` (the registry key and the ``check`` field of
+    emitted diagnostics), override :meth:`applies_to`, and implement
+    :meth:`run` as a generator of diagnostics.  ``requires_device``
+    marks checks that are silently skipped when the caller has no
+    coupling graph to check against (e.g. coupling legality of a
+    logical, not-yet-routed circuit).
+    """
+
+    name: str = "check"
+    requires_device: bool = False
+
+    def applies_to(self, obj: Any) -> bool:
+        raise NotImplementedError
+
+    def run(self, obj: Any, device: Any = None) -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+    # Shorthand for subclasses.
+    def error(
+        self, message: str, *, location: str | None = None, fix_hint: str | None = None
+    ) -> Diagnostic:
+        return Diagnostic(self.name, Severity.ERROR, message, location, fix_hint)
+
+    def warning(
+        self, message: str, *, location: str | None = None, fix_hint: str | None = None
+    ) -> Diagnostic:
+        return Diagnostic(self.name, Severity.WARNING, message, location, fix_hint)
+
+    def info(
+        self, message: str, *, location: str | None = None, fix_hint: str | None = None
+    ) -> Diagnostic:
+        return Diagnostic(self.name, Severity.INFO, message, location, fix_hint)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+#: The process-global check registry (name -> instance).  Populated by
+#: :mod:`repro.analysis.circuit_checks` at import; extensible at runtime
+#: through :func:`register_check` for project-specific invariants.
+_CHECKS: dict[str, Check] = {}
+
+
+def register_check(check: Check, *, overwrite: bool = False) -> Check:
+    """Register ``check`` under its name; returns it for chaining."""
+    if not check.name or check.name == "check":
+        raise ValueError("checks must define a distinctive name")
+    if check.name in _CHECKS and not overwrite:
+        raise ValueError(f"check {check.name!r} already registered")
+    _CHECKS[check.name] = check
+    return check
+
+
+def list_checks() -> list[str]:
+    """Registered check names, sorted."""
+    return sorted(_CHECKS)
+
+
+def get_check(name: str) -> Check:
+    if name not in _CHECKS:
+        raise ValueError(
+            f"unknown check {name!r}; registered checks: {', '.join(list_checks())}"
+        )
+    return _CHECKS[name]
+
+
+def default_checks() -> list[Check]:
+    """All registered checks in deterministic (name) order."""
+    return [_CHECKS[name] for name in list_checks()]
+
+
+class CheckRunner:
+    """Run every applicable check over one artifact.
+
+    ``checks`` defaults to the full registry; pass an explicit subset
+    (instances or registered names) to scope a run.
+    """
+
+    def __init__(self, checks: Iterable[Check | str] | None = None) -> None:
+        if checks is None:
+            self.checks: list[Check] = default_checks()
+        else:
+            self.checks = [
+                c if isinstance(c, Check) else get_check(c) for c in checks
+            ]
+
+    def run(self, obj: Any, *, device: Any = None, subject: str | None = None) -> CheckReport:
+        report = CheckReport(subject=subject or type(obj).__name__)
+        for check in self.checks:
+            if not check.applies_to(obj):
+                continue
+            if check.requires_device and device is None:
+                continue
+            report.checks_run.append(check.name)
+            report.extend(check.run(obj, device))
+        return report

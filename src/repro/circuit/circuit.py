@@ -19,7 +19,7 @@ class Circuit:
 
     __slots__ = ("num_qubits", "gates")
 
-    def __init__(self, num_qubits: int, gates: Iterable[Gate] | None = None):
+    def __init__(self, num_qubits: int, gates: Iterable[Gate] | None = None) -> None:
         if num_qubits < 0:
             raise ValueError("num_qubits must be non-negative")
         self.num_qubits = num_qubits

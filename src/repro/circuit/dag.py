@@ -65,7 +65,7 @@ class DAGNode:
 
     __slots__ = ("index", "gate", "predecessors", "successors", "_axes", "_groups", "_wire_pos")
 
-    def __init__(self, index: int, gate: Gate):
+    def __init__(self, index: int, gate: Gate) -> None:
         self.index = index
         self.gate = gate
         self.predecessors: list[DAGNode] = []
@@ -97,7 +97,7 @@ class DAGNode:
 class CircuitDAG:
     """Gate dependency DAG over per-qubit wires (the shared compiler IR)."""
 
-    def __init__(self, num_qubits: int, *, commute: bool = False):
+    def __init__(self, num_qubits: int, *, commute: bool = False) -> None:
         if num_qubits < 0:
             raise ValueError("num_qubits must be non-negative")
         self.num_qubits = num_qubits

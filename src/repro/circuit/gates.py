@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -76,50 +77,50 @@ def _check_one_param(params: tuple[float, ...]) -> float:
     return params[0]
 
 
-def _h_matrix(_params):
+def _h_matrix(_params: Sequence[float]) -> np.ndarray:
     return np.array([[_SQRT1_2, _SQRT1_2], [_SQRT1_2, -_SQRT1_2]], dtype=complex)
 
 
-def _x_matrix(_params):
+def _x_matrix(_params: Sequence[float]) -> np.ndarray:
     return np.array([[0, 1], [1, 0]], dtype=complex)
 
 
-def _y_matrix(_params):
+def _y_matrix(_params: Sequence[float]) -> np.ndarray:
     return np.array([[0, -1j], [1j, 0]], dtype=complex)
 
 
-def _z_matrix(_params):
+def _z_matrix(_params: Sequence[float]) -> np.ndarray:
     return np.array([[1, 0], [0, -1]], dtype=complex)
 
 
-def _s_matrix(_params):
+def _s_matrix(_params: Sequence[float]) -> np.ndarray:
     return np.array([[1, 0], [0, 1j]], dtype=complex)
 
 
-def _sdg_matrix(_params):
+def _sdg_matrix(_params: Sequence[float]) -> np.ndarray:
     return np.array([[1, 0], [0, -1j]], dtype=complex)
 
 
-def _rx_matrix(params):
+def _rx_matrix(params: Sequence[float]) -> np.ndarray:
     theta = _check_one_param(params)
     c, s = math.cos(theta / 2), math.sin(theta / 2)
     return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
 
 
-def _ry_matrix(params):
+def _ry_matrix(params: Sequence[float]) -> np.ndarray:
     theta = _check_one_param(params)
     c, s = math.cos(theta / 2), math.sin(theta / 2)
     return np.array([[c, -s], [s, c]], dtype=complex)
 
 
-def _rz_matrix(params):
+def _rz_matrix(params: Sequence[float]) -> np.ndarray:
     theta = _check_one_param(params)
     return np.array(
         [[np.exp(-0.5j * theta), 0], [0, np.exp(0.5j * theta)]], dtype=complex
     )
 
 
-def _cx_matrix(_params):
+def _cx_matrix(_params: Sequence[float]) -> np.ndarray:
     # Qubit order (control, target); basis index = target*2 + control
     # (little-endian: first listed qubit is the least significant).
     matrix = np.eye(4, dtype=complex)
@@ -130,13 +131,13 @@ def _cx_matrix(_params):
     return matrix
 
 
-def _cz_matrix(_params):
+def _cz_matrix(_params: Sequence[float]) -> np.ndarray:
     matrix = np.eye(4, dtype=complex)
     matrix[3, 3] = -1
     return matrix
 
 
-def _swap_matrix(_params):
+def _swap_matrix(_params: Sequence[float]) -> np.ndarray:
     matrix = np.eye(4, dtype=complex)
     matrix[[1, 2], :] = 0
     matrix[1, 2] = 1

@@ -39,13 +39,16 @@ handling them (a dense 4x4 would be slower than the cx slab swap).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
 from repro.circuit.circuit import Circuit
 from repro.circuit.dag import CircuitDAG
 from repro.circuit.gates import Gate
+
+if TYPE_CHECKING:  # runtime import stays lazy to avoid package cycles
+    from repro.core.cache import ContentAddressedCache
 from repro.sim.statevector import (
     _SWAP_BITS_PERM,
     apply_gate_inplace,
@@ -402,7 +405,7 @@ def fusion_plan(
     source: Circuit | CircuitDAG,
     *,
     level: str = "2q",
-    cache=True,
+    cache: "ContentAddressedCache | bool | None" = True,
 ) -> FusionPlan:
     """A fusion plan for ``source``, content-addressed when caching.
 
@@ -426,7 +429,7 @@ def fuse_circuit(
     source: Circuit | CircuitDAG,
     *,
     level: str = "2q",
-    cache=True,
+    cache: "ContentAddressedCache | bool | None" = True,
 ) -> FusedProgram:
     """A bound :class:`FusedProgram` for ``source``.
 

@@ -53,6 +53,7 @@ from repro.circuit import Circuit
 from repro.circuit.dag import CircuitDAG
 from repro.circuit.gates import CNOT, Gate, H, RX, RZ, SWAP, X
 from repro.core.ir import PauliProgram
+from repro.pauli import PauliString
 from repro.hardware.coupling import CouplingGraph
 
 _HALF_PI = math.pi / 2.0
@@ -83,7 +84,7 @@ class CompiledProgram:
 class MergeToRootCompiler:
     """Compile Pauli programs onto tree devices (Algorithm 3)."""
 
-    def __init__(self, graph: CouplingGraph):
+    def __init__(self, graph: CouplingGraph) -> None:
         if not graph.is_tree():
             raise ValueError(
                 "Merge-to-Root targets tree-coupled devices; "
@@ -271,7 +272,7 @@ class MergeToRootCompiler:
     def _synthesize_string(
         self,
         builder: CircuitDAG,
-        pauli,
+        pauli: PauliString,
         angle: float,
         position: dict[int, int],
     ) -> int:

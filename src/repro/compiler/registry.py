@@ -19,8 +19,8 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
-from repro.compiler.merge_to_root import MergeToRootCompiler
-from repro.compiler.sabre import SabreRouter
+from repro.compiler.merge_to_root import CompiledProgram, MergeToRootCompiler
+from repro.compiler.sabre import SabreResult, SabreRouter
 from repro.compiler.synthesis import synthesize_program_chain
 from repro.core.ir import PauliProgram
 from repro.hardware.coupling import CouplingGraph
@@ -46,7 +46,7 @@ class CompilerAdapter:
         initial_layout: dict[int, int] | None = None,
         seed: int = 11,
         commute: bool = False,
-    ):
+    ) -> "CompiledProgram | SabreResult":
         raise NotImplementedError
 
     def __repr__(self) -> str:
@@ -68,7 +68,7 @@ class MergeToRootAdapter(CompilerAdapter):
         initial_layout: dict[int, int] | None = None,
         seed: int = 11,
         commute: bool = False,
-    ):
+    ) -> "CompiledProgram | SabreResult":
         # MtR synthesizes each string against the live mapping, so its
         # emission has no commutation freedom to exploit; the knob is
         # accepted for interface uniformity and ignored.
@@ -91,7 +91,7 @@ class SabreAdapter(CompilerAdapter):
         initial_layout: dict[int, int] | None = None,
         seed: int = 11,
         commute: bool = False,
-    ):
+    ) -> "CompiledProgram | SabreResult":
         if parameters is None:
             parameters = [0.0] * program.num_parameters
         chain = synthesize_program_chain(program, parameters)

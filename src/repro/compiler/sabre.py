@@ -62,7 +62,7 @@ class SabreResult:
 class SabreRouter:
     """Route logical circuits onto a coupling graph with SWAP insertion."""
 
-    def __init__(self, graph: CouplingGraph, *, seed: int = 11, commute: bool = False):
+    def __init__(self, graph: CouplingGraph, *, seed: int = 11, commute: bool = False) -> None:
         self.graph = graph
         self.distance = graph.distance_matrix().astype(float)
         self.commute = commute
@@ -109,7 +109,7 @@ class SabreRouter:
         initial_layout: dict[int, int],
         *,
         emit: bool,
-    ):
+    ) -> tuple[Circuit | None, dict[int, int], int]:
         position = dict(initial_layout)
         occupant = {p: l for l, p in position.items()}
 
@@ -274,7 +274,9 @@ class SabreRouter:
         raise RuntimeError("disconnected coupling graph")
 
     @staticmethod
-    def _swap_positions(a, b, position, occupant):
+    def _swap_positions(
+        a: int, b: int, position: dict[int, int], occupant: dict[int, int]
+    ) -> None:
         logical_a = occupant.get(a)
         logical_b = occupant.get(b)
         if logical_a is not None:

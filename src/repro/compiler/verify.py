@@ -14,7 +14,7 @@ synthesis -- and is run over randomized programs in the test suite.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -88,7 +88,7 @@ def assert_equivalent(
 def assert_routed_equivalent(
     program: PauliProgram,
     parameters: Sequence[float],
-    result,
+    result: Any,
     *,
     circuit: Circuit | None = None,
     tolerance: float = 1e-8,

@@ -53,7 +53,7 @@ if TYPE_CHECKING:
 # ----------------------------------------------------------------------
 # Canonical hashing
 # ----------------------------------------------------------------------
-def _feed(hasher, part: Any) -> None:
+def _feed(hasher: "hashlib._Hash", part: Any) -> None:
     """Feed one key part into the hasher with an unambiguous encoding.
 
     Each part is prefixed by a type tag and (for variable-length parts)
@@ -95,7 +95,7 @@ def canonical_hash(*parts: Any) -> str:
     return hasher.hexdigest()
 
 
-def _feed_gates(hasher, gates: Iterable["Gate"], *, values: bool) -> None:
+def _feed_gates(hasher: "hashlib._Hash", gates: Iterable["Gate"], *, values: bool) -> None:
     for gate in gates:
         _feed(hasher, gate.name)
         _feed(hasher, gate.qubits)
@@ -212,7 +212,7 @@ class ContentAddressedCache:
     used entry is evicted (and counted) on overflow.
     """
 
-    def __init__(self, max_entries: int = 512, name: str = "compile-cache"):
+    def __init__(self, max_entries: int = 512, name: str = "compile-cache") -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
         self.max_entries = max_entries

@@ -28,6 +28,8 @@ from repro.hardware.coupling import CouplingGraph
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid package cycles
     from repro.ansatz.uccsd import UCCSDAnsatz
+    from repro.core.cache import ContentAddressedCache
+    from repro.core.ir import PauliProgram
     from repro.vqe.runner import VQEResult
 
 #: Layout schemes the ``InitialLayout`` stage understands.  "auto" defers
@@ -39,7 +41,7 @@ LAYOUT_SCHEMES = ("auto", "hierarchical", "trivial", "none")
 
 
 class PipelineError(RuntimeError):
-    """A pass ran before the stages it depends on."""
+    """A pass ran (or was ordered to run) before the stages it depends on."""
 
 
 @dataclass(frozen=True)
@@ -67,6 +69,14 @@ class PipelineConfig:
     adjacency vs. commutation-aware peephole passes remove from the
     compressed circuit.
 
+    ``validate`` (on by default) runs the static verification layer
+    (:mod:`repro.analysis`) over the artifacts the stages produce: the
+    :class:`Compress` stage sanitizes the compressed Pauli program, the
+    :class:`Route` stage sanitizes the routed circuit and its layouts
+    against the device, and the :class:`Metrics` stage sanitizes the
+    scheduling DAG it consumes.  Checks are linear-time; opt out only
+    for throughput-critical inner loops that re-run validated configs.
+
     ``fusion`` selects the gate-fusion level for the ``"fused"``
     simulation engine (:data:`repro.compiler.fusion.FUSION_LEVELS`);
     ``cache`` turns the content-addressed compile cache
@@ -86,6 +96,7 @@ class PipelineConfig:
     engine: str = "inplace"
     fusion: str = "2q"
     cache: bool = True
+    validate: bool = True
     trajectories: int = 256
     dag: bool = True
     commute: bool = False
@@ -139,7 +150,7 @@ class PipelineContext:
         return value
 
 
-def _compile_store(context: PipelineContext):
+def _compile_store(context: PipelineContext) -> "ContentAddressedCache | None":
     """The compile cache selected by ``config.cache`` (None when off)."""
     from repro.core.cache import resolve_cache
 
@@ -158,9 +169,19 @@ def _hamiltonian_key(context: PipelineContext) -> str:
 
 
 class Pass:
-    """One named stage of the pipeline."""
+    """One named stage of the pipeline.
+
+    ``requires`` and ``produces`` declare the stage's contract over the
+    shared context: which :class:`PipelineContext` attributes must be
+    staged before it runs and which it fills in.  The declarations power
+    :meth:`repro.core.pipeline.Pipeline.validate`, which rejects an
+    ill-ordered pass list at construction time instead of failing
+    mid-run; custom passes default to an empty contract (always valid).
+    """
 
     name: str = "pass"
+    requires: tuple[str, ...] = ()
+    produces: tuple[str, ...] = ()
 
     def run(self, context: PipelineContext) -> None:
         raise NotImplementedError
@@ -178,6 +199,7 @@ class BuildProblem(Pass):
     """
 
     name = "build_problem"
+    produces = ("problem",)
 
     def run(self, context: PipelineContext) -> None:
         if context.problem is None:
@@ -195,6 +217,8 @@ class BuildAnsatz(Pass):
     """
 
     name = "build_ansatz"
+    requires = ("problem",)
+    produces = ("ansatz",)
 
     def run(self, context: PipelineContext) -> None:
         from repro.ansatz.uccsd import build_uccsd_program
@@ -220,13 +244,15 @@ class Compress(Pass):
     """
 
     name = "compress"
+    requires = ("problem", "ansatz")
+    produces = ("compressed",)
 
     def run(self, context: PipelineContext) -> None:
         problem = context.require("problem", self.name)
         ansatz = context.require("ansatz", self.name)
         store = _compile_store(context)
 
-        def compress():
+        def compress() -> CompressedAnsatz:
             return compress_ansatz(
                 ansatz.program,
                 problem.hamiltonian,
@@ -258,9 +284,16 @@ class Compress(Pass):
                 context.metrics.update(
                     store.get_or_compute(key, lambda: _chain_cnot_metrics(program))
                 )
+        if context.config.validate:
+            from repro.analysis import assert_clean
+
+            assert_clean(
+                context.compressed.program,
+                context=f"compress({context.config.describe()})",
+            )
 
 
-def _chain_cnot_metrics(program) -> dict[str, int]:
+def _chain_cnot_metrics(program: "PauliProgram") -> dict[str, int]:
     """CNOT counts of the chain-synthesized program under the peephole
     cancellation passes (the Section VII "deeper optimization" numbers)."""
     from repro.compiler.cancellation import cancel_gates
@@ -278,6 +311,8 @@ class InitialLayout(Pass):
     """Resolve the device and compute the initial mapping (Algorithm 2)."""
 
     name = "initial_layout"
+    requires = ("compressed",)
+    produces = ("device", "initial_layout")
 
     def run(self, context: PipelineContext) -> None:
         from repro.compiler.layout import hierarchical_initial_layout, trivial_layout
@@ -320,9 +355,31 @@ class InitialLayout(Pass):
 
 
 class Route(Pass):
-    """Synthesize and route through the configured compiler."""
+    """Synthesize and route through the configured compiler.
+
+    With ``config.validate`` on (the default), the routed artifact is
+    statically sanitized against the device before it leaves the stage:
+    qubit bounds, gate-set conformance, bound parameters, coupling
+    legality of every two-qubit gate, and layout-permutation consistency
+    (see :mod:`repro.analysis`).  This is the linear-time complement of
+    the exponential dynamic check
+    (:func:`repro.compiler.verify.assert_routed_equivalent`), so it runs
+    on every compile, not just small test circuits.
+    """
 
     name = "route"
+    requires = ("compressed",)
+    produces = ("device", "compiled")
+
+    #: Checks applied to the routed result; the DAG checks are left to
+    #: the :class:`Metrics` stage, which is what consumes the DAG.
+    VALIDATION_CHECKS = (
+        "qubit-bounds",
+        "gate-set",
+        "gate-parameters",
+        "coupling-legality",
+        "layout-permutation",
+    )
 
     def run(self, context: PipelineContext) -> None:
         from repro.compiler.registry import get_compiler
@@ -333,7 +390,7 @@ class Route(Pass):
             context.device = get_device(context.config.device)
         compiler = get_compiler(context.config.compiler)
 
-        def compile_program():
+        def compile_program() -> Any:
             return compiler.compile(
                 compressed.program,
                 context.device,
@@ -345,6 +402,7 @@ class Route(Pass):
         store = _compile_store(context)
         if store is None:
             context.compiled = compile_program()
+            self._validate(context)
             return
         from repro.core.cache import coupling_key, program_key
 
@@ -359,6 +417,19 @@ class Route(Pass):
             context.config.commute,
         )
         context.compiled = store.get_or_compute(key, compile_program)
+        self._validate(context)
+
+    def _validate(self, context: PipelineContext) -> None:
+        if not context.config.validate:
+            return
+        from repro.analysis import assert_clean
+
+        assert_clean(
+            context.compiled,
+            device=context.device,
+            checks=self.VALIDATION_CHECKS,
+            context=f"route({context.config.describe()})",
+        )
 
 
 class Energy(Pass):
@@ -376,6 +447,8 @@ class Energy(Pass):
     """
 
     name = "energy"
+    requires = ("problem", "ansatz")
+    produces = ("vqe_result",)
 
     def __init__(
         self,
@@ -389,7 +462,7 @@ class Energy(Pass):
         trajectories: int | None = None,
         max_iterations: int = 200,
         compute_exact: bool = True,
-    ):
+    ) -> None:
         self.backend = backend
         self.engine = engine
         self.fusion = fusion
@@ -447,11 +520,35 @@ def _exact_ground_state_energy(problem: MolecularProblem) -> float:
 
 
 class Metrics(Pass):
-    """Summarize the run into JSON-safe scalars (Table II conventions)."""
+    """Summarize the run into JSON-safe scalars (Table II conventions).
+
+    With ``config.validate`` on, the compiled artifact's DAG is checked
+    for structural soundness (edge symmetry, topological order,
+    commute-edge validity, DAG/circuit agreement) before the scheduling
+    metrics read it -- a corrupt DAG would silently skew
+    ``scheduled_depth`` and ``duration_ns``.
+    """
 
     name = "metrics"
 
+    #: DAG checks applied before the schedule report consumes the IR.
+    VALIDATION_CHECKS = ("dag-invariants", "dag-circuit-consistency")
+
     def run(self, context: PipelineContext) -> None:
+        if (
+            context.config.validate
+            and context.config.dag
+            and context.compiled is not None
+            and getattr(context.compiled, "dag", None) is not None
+        ):
+            from repro.analysis import assert_clean
+
+            assert_clean(
+                context.compiled,
+                device=context.device,
+                checks=self.VALIDATION_CHECKS,
+                context=f"metrics({context.config.describe()})",
+            )
         context.metrics.update(collect_metrics(context))
 
 

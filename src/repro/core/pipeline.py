@@ -59,6 +59,7 @@ from repro.core.passes import (
     Pass,
     PipelineConfig,
     PipelineContext,
+    PipelineError,
     Route,
     collect_metrics,
 )
@@ -80,10 +81,27 @@ DEFAULT_PASSES: tuple[type[Pass], ...] = (
 
 SCHEMA_VERSION = 1
 
+#: Context keys :meth:`Pipeline.run` can pre-seed from its arguments.
+#: Construction-time contract validation treats them as potentially
+#: available; the run-time re-validation checks what was actually
+#: injected.
+INJECTABLE_CONTEXT_KEYS = ("problem", "device")
+
 
 def default_passes() -> list[Pass]:
     """Fresh instances of the default stages."""
     return [cls() for cls in DEFAULT_PASSES]
+
+
+def _producers_of(key: str) -> list[str]:
+    """Names of known stage classes whose contract produces ``key``."""
+    from repro.core.passes import Energy
+
+    names = []
+    for cls in (*DEFAULT_PASSES, Energy):
+        if key in cls.produces:
+            names.append(cls.name)
+    return names
 
 
 def _layout_pairs(layout: dict[int, int] | None) -> list[list[int]] | None:
@@ -255,7 +273,7 @@ class Pipeline:
         config: PipelineConfig | None = None,
         passes: Sequence[Pass] | None = None,
         **overrides: Any,
-    ):
+    ) -> None:
         if config is None:
             config = PipelineConfig(**overrides)
         elif overrides:
@@ -264,6 +282,11 @@ class Pipeline:
         self.passes: list[Pass] = (
             list(passes) if passes is not None else default_passes()
         )
+        # Contract check at construction: a misordered pass list is a
+        # configuration bug, so reject it before any chemistry runs.
+        # Keys run() can inject are assumed available here; run() itself
+        # re-validates against what was actually injected.
+        self.validate(available=INJECTABLE_CONTEXT_KEYS)
 
     def pass_names(self) -> list[str]:
         return [p.name for p in self.passes]
@@ -290,6 +313,39 @@ class Pipeline:
     def appending(self, *new_passes: Pass) -> "Pipeline":
         return Pipeline(self.config, list(self.passes) + list(new_passes))
 
+    def validate(self, *, available: Iterable[str] = ()) -> "Pipeline":
+        """Check the passes' ``requires``/``produces`` contracts in order.
+
+        Walks the pass list tracking which context keys have been
+        produced (starting from ``available``, the keys pre-seeded by
+        the caller) and raises :class:`PipelineError` naming the first
+        stage whose requirements are not met -- at construction time,
+        instead of a mid-run failure after minutes of chemistry.
+        Custom passes that declare no contract always validate.
+        """
+        have = set(available)
+        for stage in self.passes:
+            missing = [key for key in stage.requires if key not in have]
+            if missing:
+                hints = []
+                for key in missing:
+                    producers = _producers_of(key)
+                    if producers:
+                        hints.append(
+                            f"context.{key} is produced by "
+                            f"{' / '.join(repr(p) for p in producers)}"
+                        )
+                    else:
+                        hints.append(f"context.{key} has no known producer")
+                raise PipelineError(
+                    f"pass {stage.name!r} needs "
+                    + ", ".join(f"context.{key}" for key in missing)
+                    + "; run the stage that produces it first "
+                    f"({'; '.join(hints)}); stage order: {self.pass_names()}"
+                )
+            have.update(stage.produces)
+        return self
+
     def run(
         self,
         *,
@@ -301,6 +357,15 @@ class Pipeline:
         ``problem``/``device`` pre-seed the context, letting callers
         share a built Hamiltonian or target a hand-built graph.
         """
+        # Re-validate against what was actually injected: a config that
+        # passed the optimistic construction-time check (which assumes
+        # run() may seed any injectable key) can still be short a key.
+        injected = [
+            key
+            for key, value in (("problem", problem), ("device", device))
+            if value is not None
+        ]
+        self.validate(available=injected)
         context = PipelineContext(config=self.config, problem=problem, device=device)
         for stage in self.passes:
             stage.run(context)

@@ -24,6 +24,10 @@ class CouplingGraph:
     edges: list[tuple[int, int]]
     name: str = "device"
     center: int | None = None
+    #: Optional declared native basis (lowercase gate mnemonics).  When
+    #: set, the static ``gate-set`` check (repro.analysis) flags compiled
+    #: circuits using gates outside it; None means "any known gate".
+    gate_set: frozenset[str] | None = None
     _adjacency: list[set[int]] = field(init=False, repr=False)
     _levels: list[int] | None = field(default=None, init=False, repr=False)
     _distances: np.ndarray | None = field(default=None, init=False, repr=False)

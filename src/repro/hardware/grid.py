@@ -69,5 +69,10 @@ def grid17q() -> CouplingGraph:
         ancilla = 13 + k
         edges += [(ancilla, a), (ancilla, b)]
     graph = CouplingGraph(17, edges, name="Grid17Q", center=data(1, 1))
-    assert graph.num_edges == 24, "Grid17Q must have 24 connections"
+    if graph.num_edges != 24:
+        raise RuntimeError(
+            f"Grid17Q construction produced {graph.num_edges} connections, "
+            "expected 24 (9 data qubits, 4 bulk couplers x4 edges, "
+            "4 boundary couplers x2 edges); the edge builder is broken"
+        )
     return graph

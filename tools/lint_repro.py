@@ -1,0 +1,306 @@
+#!/usr/bin/env python3
+"""Repo-specific AST lint: rules encoding bug classes this repo shipped.
+
+Generic linters catch generic mistakes; each rule here is keyed to a bug
+that actually reached ``main`` (see CHANGES.md) so the class cannot
+return:
+
+RR001  truthiness test on a cache/store/registry object.  The compile
+       cache defines ``__len__``, so ``if self._store:`` silently meant
+       "if non-empty", disabling caching for every fresh store (PR 6 bug
+       class).  Compare against ``None`` explicitly.
+RR002  bare ``/ norm`` renormalization in simulation or VQE code.
+       Silent renormalization masked the broken noisy path for five PRs
+       (PR 5 bug class); probability vectors must go through
+       ``checked_probabilities`` so a bad norm raises.
+RR003  ``np.bitwise_count`` outside ``core/bits.py``.  The API exists
+       only on NumPy >= 2.0; the version-gated fallback lives in
+       ``repro.core.bits.popcount`` and must stay the single gate.
+RR004  bare ``assert`` used for input validation in library code.
+       Asserts vanish under ``python -O``; raise a typed exception with
+       an actionable message instead.  ``assert x is not None`` (type
+       narrowing of a value already guaranteed by a checked contract) is
+       exempt.
+RR005  direct access to a private registry (``_DEVICES``, ``_COMPILERS``,
+       ``_COMPILE_CACHE``) outside its home module.  Bypassing the
+       accessor skips normalization and lazy registration.
+
+Suppress a finding with a ``# lint: ignore[RR001]`` comment on the line
+(multiple codes comma-separated).  Exit status is 1 when any finding
+remains, so the tool gates CI.
+
+Usage:
+    python tools/lint_repro.py              # lint src/repro
+    python tools/lint_repro.py path ...     # lint specific files/dirs
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_TARGET = REPO_ROOT / "src" / "repro"
+
+#: Names whose truthiness is ambiguous because the objects they
+#: conventionally hold define ``__len__`` (RR001).
+TRUTHINESS_SUSPECTS = re.compile(r"(cache|store|registry)", re.IGNORECASE)
+
+#: Modules (relative to the repo root) where ``/ norm`` renormalization
+#: is audited (RR002).  Only state-vector / probability code is in
+#: scope; e.g. quadrature normalization in chem/ is legitimate.
+RR002_SCOPE = ("src/repro/sim/", "src/repro/vqe/")
+
+#: Function whose body is the one sanctioned home of ``/ norm`` (RR002).
+RR002_EXEMPT_FUNCTION = "checked_probabilities"
+
+#: NumPy >= 2.0-only attributes and the single module allowed to touch
+#: them behind a version gate (RR003).
+NUMPY2_ONLY_ATTRS = {"bitwise_count"}
+RR003_HOME = "src/repro/core/bits.py"
+
+#: Private registries and their home modules (RR005).
+PRIVATE_REGISTRIES = {
+    "_DEVICES": "src/repro/hardware/registry.py",
+    "_COMPILERS": "src/repro/compiler/registry.py",
+    "_COMPILE_CACHE": "src/repro/core/cache.py",
+}
+
+IGNORE_PRAGMA = re.compile(r"#\s*lint:\s*ignore\[([A-Z0-9,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    code: str
+    path: Path
+    line: int
+    message: str
+
+    def format(self) -> str:
+        rel = self.path.resolve()
+        try:
+            rel = rel.relative_to(REPO_ROOT)
+        except ValueError:
+            pass
+        return f"{rel}:{self.line}: {self.code} {self.message}"
+
+
+def _suppressed_codes(source_lines: list[str], line: int) -> set[str]:
+    """Codes suppressed via ``# lint: ignore[...]`` on ``line`` (1-based)."""
+    if not 1 <= line <= len(source_lines):
+        return set()
+    match = IGNORE_PRAGMA.search(source_lines[line - 1])
+    if not match:
+        return set()
+    return {code.strip() for code in match.group(1).split(",") if code.strip()}
+
+
+def _name_of(node: ast.expr) -> str | None:
+    """Terminal identifier of a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_none_narrowing(test: ast.expr) -> bool:
+    """True for ``x is not None`` / ``x is None`` comparison asserts."""
+    return (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], (ast.IsNot, ast.Is))
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    )
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: Path, rel_posix: str):
+        self.path = path
+        self.rel = rel_posix
+        self.findings: list[Finding] = []
+        self._function_stack: list[str] = []
+
+    def _add(self, code: str, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(code, self.path, node.lineno, message))
+
+    # -- scope tracking -------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function_stack.append(node.name)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._function_stack.append(node.name)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    # -- RR001: truthiness on __len__-bearing objects -------------------
+    def _check_truthiness(self, test: ast.expr) -> None:
+        target = test.operand if (
+            isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not)
+        ) else test
+        name = _name_of(target)
+        if name and TRUTHINESS_SUSPECTS.search(name):
+            self._add(
+                "RR001",
+                test,
+                f"truthiness test on {name!r}: cache/store/registry objects "
+                "define __len__, so this reads 'if non-empty', not 'if not "
+                "None'; compare against None explicitly",
+            )
+
+    def visit_If(self, node: ast.If) -> None:
+        self._check_truthiness(node.test)
+        self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._check_truthiness(node.test)
+        self.generic_visit(node)
+
+    def visit_IfExp(self, node: ast.IfExp) -> None:
+        self._check_truthiness(node.test)
+        self.generic_visit(node)
+
+    def visit_BoolOp(self, node: ast.BoolOp) -> None:
+        # `store and store.get(...)` has the same trap as `if store:`.
+        for value in node.values[:-1]:
+            self._check_truthiness(value)
+        self.generic_visit(node)
+
+    # -- RR002: silent `/ norm` renormalization -------------------------
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if (
+            isinstance(node.op, ast.Div)
+            and self.rel.startswith(RR002_SCOPE)
+            and RR002_EXEMPT_FUNCTION not in self._function_stack
+        ):
+            name = _name_of(node.right)
+            if name and name == "norm":
+                self._add(
+                    "RR002",
+                    node,
+                    "silent '/ norm' renormalization: a wrong norm is "
+                    "masked instead of raised; route probability vectors "
+                    f"through {RR002_EXEMPT_FUNCTION}()",
+                )
+        self.generic_visit(node)
+
+    # -- RR003: NumPy >= 2.0-only APIs outside the gate -----------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            node.attr in NUMPY2_ONLY_ATTRS
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("np", "numpy")
+            and self.rel != RR003_HOME
+        ):
+            self._add(
+                "RR003",
+                node,
+                f"np.{node.attr} requires NumPy >= 2.0; use the "
+                "version-gated wrapper in repro.core.bits instead",
+            )
+        self.generic_visit(node)
+
+    # -- RR004: bare assert as input validation -------------------------
+    def visit_Assert(self, node: ast.Assert) -> None:
+        if not _is_none_narrowing(node.test):
+            self._add(
+                "RR004",
+                node,
+                "bare assert in library code vanishes under 'python -O'; "
+                "raise a typed exception with an actionable message",
+            )
+        self.generic_visit(node)
+
+    # -- RR005: registry dict access outside its home module ------------
+    def _check_registry_name(self, name: str | None, node: ast.AST) -> None:
+        if name in PRIVATE_REGISTRIES and self.rel != PRIVATE_REGISTRIES[name]:
+            self._add(
+                "RR005",
+                node,
+                f"direct access to private registry {name}; use the "
+                f"accessor functions in {PRIVATE_REGISTRIES[name]}",
+            )
+
+    def visit_Name(self, node: ast.Name) -> None:
+        self._check_registry_name(node.id, node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            self._check_registry_name(alias.name, node)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: Path, rel: str) -> list[Finding]:
+    """Lint ``source`` as if it lived at repo-relative path ``rel``.
+
+    Split out from :func:`lint_file` so tests can exercise the
+    path-scoped rules (RR002/RR003/RR005) without writing into the
+    source tree.
+    """
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Finding("RR000", path, exc.lineno or 1, f"syntax error: {exc.msg}")]
+    visitor = _Visitor(path, rel)
+    visitor.visit(tree)
+    lines = source.splitlines()
+    return [
+        f
+        for f in visitor.findings
+        if f.code not in _suppressed_codes(lines, f.line)
+    ]
+
+
+def lint_file(path: Path) -> list[Finding]:
+    """Lint one Python file; returns the unsuppressed findings."""
+    try:
+        rel = path.resolve().relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    return lint_source(path.read_text(), path, rel)
+
+
+def iter_python_files(targets: Iterable[Path]) -> Iterator[Path]:
+    for target in targets:
+        if target.is_dir():
+            yield from sorted(target.rglob("*.py"))
+        elif target.suffix == ".py":
+            yield target
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=[DEFAULT_TARGET],
+        help="files or directories to lint (default: src/repro)",
+    )
+    args = parser.parse_args(argv)
+
+    findings: list[Finding] = []
+    count = 0
+    for path in iter_python_files(args.paths):
+        count += 1
+        findings.extend(lint_file(path))
+
+    for finding in findings:
+        print(finding.format())
+    print(
+        f"lint_repro: {count} file(s), {len(findings)} finding(s)",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
