@@ -1,0 +1,72 @@
+"""Quickstart: QAOA MaxCut through the same co-optimization pipeline.
+
+Builds a seeded Erdos-Renyi MaxCut instance from the problem registry,
+lowers it into a p-layer QAOA Pauli program, compiles it with both
+flows (Merge-to-Root and SABRE) on an exact-fit XTree, and then scans a
+small (gamma, beta) angle grid with the exact statevector engine to
+show the expected cut climbing above the random-guessing baseline.
+
+Run:  PYTHONPATH=src python examples/qaoa_maxcut.py
+"""
+
+import itertools
+
+import numpy as np
+
+from repro.ansatz import build_qaoa_ansatz
+from repro.core import Pipeline, PipelineConfig
+from repro.problems import get_problem
+from repro.sim import ExpectationEngine, basis_state
+from repro.sim.pauli_evolution import evolve_pauli_sequence
+
+SPEC = "maxcut:er-8-5"
+LAYERS = 2
+
+
+def main() -> None:
+    problem = get_problem(SPEC)
+    graph = problem.graph
+    print(f"{SPEC}: {graph.num_nodes} nodes, {graph.num_edges} edges")
+
+    # -- compile with both flows ------------------------------------
+    for compiler in ("mtr", "sabre"):
+        result = Pipeline(
+            PipelineConfig(
+                problem=SPEC, qaoa_layers=LAYERS, device="xtree8", compiler=compiler
+            )
+        ).run()
+        m = result.metrics
+        print(
+            f"  {compiler:>5}: {m['total_cnots']} CNOTs "
+            f"({m['overhead_cnots']} routing overhead), "
+            f"scheduled depth {m['scheduled_depth']}"
+        )
+
+    # -- evaluate the ansatz on a small angle grid ------------------
+    ansatz = build_qaoa_ansatz(problem.hamiltonian, LAYERS)
+    engine = ExpectationEngine(problem.hamiltonian)
+
+    def expected_cut(gammas: list, betas: list) -> float:
+        params = ansatz.parameters(gammas, betas)
+        state = basis_state(ansatz.num_qubits, 0)
+        state = evolve_pauli_sequence(ansatz.program.bound_terms(params), state)
+        return float(engine.value(state))
+
+    baseline = expected_cut([0.0] * LAYERS, [0.0] * LAYERS)
+    print(f"\nuniform-superposition baseline: <cut> = {baseline:.3f} "
+          f"(= |E|/2 = {graph.num_edges / 2})")
+
+    angles = np.linspace(0.2, 1.1, 4)
+    best = max(
+        (expected_cut(list(gs), list(bs)), gs, bs)
+        for gs in itertools.product(angles, repeat=LAYERS)
+        for bs in itertools.product(angles, repeat=LAYERS)
+    )
+    value, gammas, betas = best
+    print(f"best grid point: <cut> = {value:.3f} at gamma={np.round(gammas, 2)}, "
+          f"beta={np.round(betas, 2)}")
+    assert value > baseline, "QAOA should beat random guessing"
+
+
+if __name__ == "__main__":
+    main()

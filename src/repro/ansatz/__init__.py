@@ -1,12 +1,26 @@
-"""UCCSD ansatz construction (the paper's "standard" chemistry ansatz).
+"""Ansatz construction: UCCSD (chemistry), QAOA (graphs), raw circuits.
 
 * :mod:`repro.ansatz.excitations` enumerates single and double
   excitations over the active space (blocked spin ordering).
 * :mod:`repro.ansatz.uccsd` maps each excitation through Jordan-Wigner
   into the Pauli-string IR, one shared parameter per excitation.
+* :mod:`repro.ansatz.qaoa` emits p-layer QAOA programs over diagonal
+  cost Hamiltonians in the same IR.
+* :mod:`repro.ansatz.circuit_ansatz` wraps arbitrary ingested circuits
+  for the gate-stream compilation path.
 """
 
+from repro.ansatz.circuit_ansatz import CircuitAnsatz
 from repro.ansatz.excitations import Excitation, generate_excitations
+from repro.ansatz.qaoa import QAOAAnsatz, build_qaoa_ansatz
 from repro.ansatz.uccsd import UCCSDAnsatz, build_uccsd_program
 
-__all__ = ["Excitation", "generate_excitations", "UCCSDAnsatz", "build_uccsd_program"]
+__all__ = [
+    "Excitation",
+    "generate_excitations",
+    "UCCSDAnsatz",
+    "build_uccsd_program",
+    "QAOAAnsatz",
+    "build_qaoa_ansatz",
+    "CircuitAnsatz",
+]

@@ -1,0 +1,38 @@
+"""Gate-level ansatz wrapper for arbitrary ingested circuits.
+
+A :class:`CircuitAnsatz` is what the pipeline stages between
+``BuildAnsatz`` and ``Route`` is handed when the workload is an
+arbitrary OpenQASM circuit rather than a Pauli program: there is no
+parameter space to compress and no Pauli IR to synthesize, so the
+``Compress`` stage passes it through untouched and the ``Route`` stage
+dispatches to the compilers' gate-stream entry point
+(:meth:`repro.compiler.registry.CompilerAdapter.compile_circuit`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.circuit import Circuit
+
+
+@dataclass(frozen=True)
+class CircuitAnsatz:
+    """An opaque gate-level circuit flowing through the pipeline."""
+
+    circuit: Circuit
+    name: str = "circuit"
+
+    @property
+    def num_qubits(self) -> int:
+        return self.circuit.num_qubits
+
+    @property
+    def num_gates(self) -> int:
+        return self.circuit.num_gates()
+
+    #: The pipeline's metrics stage reads ``num_parameters`` off every
+    #: ansatz; an ingested circuit has no variational parameters.
+    @property
+    def num_parameters(self) -> int:
+        return 0

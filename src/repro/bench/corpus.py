@@ -1,0 +1,342 @@
+"""QAOA + QASM benchmark corpus: the differential-testing bed.
+
+The paper's evaluation is nine UCCSD molecules; this module widens the
+compiler's exercise set to a seeded, regenerable corpus of OpenQASM
+circuits spanning the workload families the co-design claims should
+generalize to:
+
+* **QAOA MaxCut** on Erdos-Renyi and 3-regular graphs (p in {1, 2}),
+  chain-synthesized from the Pauli IR with seeded random angles;
+* **QAOA transverse-field Ising rings** (commuting ZZ cost layers --
+  the best case for commutation-aware cancellation);
+* **GHZ ladders** (pure CNOT chains, the routing-friendliness floor);
+* **random Clifford+T** streams (T == ``rz(pi/4)`` up to global phase,
+  since the gate set has no bare T);
+* **Cuccaro ripple-carry adders** with the standard 7-rotation Toffoli
+  decomposition (arithmetic-style structure).
+
+Every circuit is a pure function of its spec (seeds included, no
+wall-clock or global state), so ``generate_corpus`` is byte-for-byte
+deterministic -- CI regenerates the committed ``benchmarks/corpus/``
+files and fails on any drift.  ``run_corpus_benchmark`` compiles the
+corpus with both flows (Merge-to-Root spanning-tree mode and SABRE) on
+an exact-fit XTree and a near-square grid per circuit, recording routed
+CNOTs, scheduled depth, cancellation wins and compile time, plus
+compile-cache cold/warm hit rates through the pipeline path; the rows
+become the ``BENCH_corpus.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.ansatz import build_qaoa_ansatz
+from repro.circuit import Circuit
+from repro.circuit.gates import CNOT, H, RZ, Gate
+from repro.circuit.qasm import from_qasm, to_qasm
+from repro.compiler import cancel_gates, get_compiler, schedule_report
+from repro.compiler.synthesis import synthesize_program_chain
+from repro.hardware import get_device
+from repro.pauli import PauliSum
+from repro.problems import (
+    erdos_renyi_graph,
+    ising_hamiltonian,
+    maxcut_hamiltonian,
+    random_regular_graph,
+    ring_graph,
+)
+
+#: Angle of a T gate expressed as an RZ (equal up to global phase).
+T_ANGLE = math.pi / 4.0
+
+#: Compiler flows exercised over the corpus.
+CORPUS_COMPILERS = ("mtr", "sabre")
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """One regenerable corpus circuit: a name, a family, a builder."""
+
+    name: str
+    family: str
+    build: Callable[[], Circuit]
+
+
+def corpus_devices(num_qubits: int) -> tuple[str, str]:
+    """The two benchmark devices for an ``num_qubits``-qubit circuit.
+
+    An exact-fit XTree and the smallest near-square grid that holds the
+    circuit (rows = floor(sqrt(n)), at least 2, columns to cover).
+    """
+    rows = max(2, int(math.isqrt(num_qubits)))
+    columns = -(-num_qubits // rows)  # ceiling division
+    return (f"xtree{num_qubits}", f"grid{rows}x{columns}")
+
+
+def _qaoa_circuit(hamiltonian: PauliSum, layers: int, *, seed: int) -> Circuit:
+    """Chain-synthesize a p-layer QAOA ansatz at seeded random angles."""
+    ansatz = build_qaoa_ansatz(hamiltonian, layers)
+    rng = np.random.default_rng(seed)
+    gammas = rng.uniform(0.1, 1.2, size=layers)
+    betas = rng.uniform(0.1, 1.2, size=layers)
+    return synthesize_program_chain(
+        ansatz.program, ansatz.parameters(gammas, betas)
+    )
+
+
+def qaoa_maxcut_er_circuit(num_nodes: int, layers: int, *, seed: int) -> Circuit:
+    graph = erdos_renyi_graph(num_nodes, 0.5, seed=seed)
+    return _qaoa_circuit(maxcut_hamiltonian(graph), layers, seed=seed + 1000)
+
+
+def qaoa_maxcut_regular_circuit(num_nodes: int, layers: int, *, seed: int) -> Circuit:
+    graph = random_regular_graph(num_nodes, 3, seed=seed)
+    return _qaoa_circuit(maxcut_hamiltonian(graph), layers, seed=seed + 2000)
+
+
+def qaoa_ising_ring_circuit(num_nodes: int, layers: int, *, seed: int) -> Circuit:
+    hamiltonian = ising_hamiltonian(ring_graph(num_nodes), longitudinal_field=0.7)
+    return _qaoa_circuit(hamiltonian, layers, seed=seed + 3000)
+
+
+def ghz_circuit(num_qubits: int) -> Circuit:
+    """H then a CNOT chain: the canonical entangling ladder."""
+    gates = [H(0)] + [CNOT(qubit, qubit + 1) for qubit in range(num_qubits - 1)]
+    return Circuit(num_qubits, gates)
+
+
+def random_clifford_t_circuit(num_qubits: int, depth: int, *, seed: int) -> Circuit:
+    """A seeded random stream over {H, S, T(rz), CX, CZ}."""
+    rng = np.random.default_rng(seed)
+    gates: list[Gate] = []
+    for _ in range(depth):
+        kind = int(rng.integers(0, 5))
+        qubit = int(rng.integers(0, num_qubits))
+        if kind == 0:
+            gates.append(Gate("h", (qubit,)))
+        elif kind == 1:
+            gates.append(Gate("s", (qubit,)))
+        elif kind == 2:
+            sign = 1.0 if int(rng.integers(0, 2)) == 0 else -1.0
+            gates.append(RZ(sign * T_ANGLE, qubit))
+        else:
+            other = int(rng.integers(0, num_qubits - 1))
+            if other >= qubit:
+                other += 1
+            name = "cx" if kind == 3 else "cz"
+            gates.append(Gate(name, (qubit, other)))
+    return Circuit(num_qubits, gates)
+
+
+def _toffoli(a: int, b: int, c: int) -> list[Gate]:
+    """Standard 7-rotation Toffoli decomposition (T == rz(pi/4) up to
+    global phase, which cancels in up-to-phase equivalence checks)."""
+    t, tdg = T_ANGLE, -T_ANGLE
+    return [
+        H(c),
+        CNOT(b, c), RZ(tdg, c),
+        CNOT(a, c), RZ(t, c),
+        CNOT(b, c), RZ(tdg, c),
+        CNOT(a, c), RZ(t, b), RZ(t, c),
+        H(c),
+        CNOT(a, b), RZ(t, a), RZ(tdg, b),
+        CNOT(a, b),
+    ]
+
+
+def cuccaro_adder_circuit(num_bits: int) -> Circuit:
+    """Cuccaro ripple-carry adder on ``2 * num_bits + 2`` qubits.
+
+    Layout: ancilla carry ``0``, then interleaved ``b[i]`` (``2i + 1``)
+    and ``a[i]`` (``2i + 2``), carry-out last.  MAJ ripples the carry up
+    through the ``a`` rail, a CNOT writes the carry-out, and UMA
+    un-computes while leaving ``b <- a + b``.
+    """
+    num_qubits = 2 * num_bits + 2
+    carry_out = num_qubits - 1
+    gates: list[Gate] = []
+
+    def maj(c: int, b: int, a: int) -> None:
+        gates.extend([CNOT(a, b), CNOT(a, c)])
+        gates.extend(_toffoli(c, b, a))
+
+    def uma(c: int, b: int, a: int) -> None:
+        gates.extend(_toffoli(c, b, a))
+        gates.extend([CNOT(a, c), CNOT(c, b)])
+
+    rails = [(2 * i + 1, 2 * i + 2) for i in range(num_bits)]  # (b[i], a[i])
+    carries = [0] + [a for _, a in rails[:-1]]
+    for (b, a), c in zip(rails, carries):
+        maj(c, b, a)
+    gates.append(CNOT(rails[-1][1], carry_out))
+    for (b, a), c in reversed(list(zip(rails, carries))):
+        uma(c, b, a)
+    return Circuit(num_qubits, gates)
+
+
+def corpus_specs() -> list[CorpusSpec]:
+    """The full corpus, sorted by name (the on-disk order)."""
+    specs: list[CorpusSpec] = []
+    for n in (6, 8, 10, 12):
+        for p in (1, 2):
+            specs.append(
+                CorpusSpec(
+                    f"qaoa_maxcut_er_n{n:02d}_p{p}",
+                    "qaoa-maxcut-er",
+                    lambda n=n, p=p: qaoa_maxcut_er_circuit(n, p, seed=n),
+                )
+            )
+    for n in (6, 8, 10, 12):
+        specs.append(
+            CorpusSpec(
+                f"qaoa_maxcut_reg3_n{n:02d}_p1",
+                "qaoa-maxcut-reg3",
+                lambda n=n: qaoa_maxcut_regular_circuit(n, 1, seed=n),
+            )
+        )
+    for n in (8, 12):
+        specs.append(
+            CorpusSpec(
+                f"qaoa_ising_ring_n{n:02d}_p1",
+                "qaoa-ising-ring",
+                lambda n=n: qaoa_ising_ring_circuit(n, 1, seed=n),
+            )
+        )
+    for n in (6, 10, 14):
+        specs.append(CorpusSpec(f"ghz_n{n:02d}", "ghz", lambda n=n: ghz_circuit(n)))
+    for n, depth in ((6, 40), (8, 60), (10, 80), (12, 100), (8, 120), (12, 160)):
+        specs.append(
+            CorpusSpec(
+                f"cliffordt_n{n:02d}_d{depth:03d}",
+                "clifford-t",
+                lambda n=n, depth=depth: random_clifford_t_circuit(n, depth, seed=n * 17 + depth),
+            )
+        )
+    for bits in (2, 3):
+        specs.append(
+            CorpusSpec(
+                f"adder_cuccaro_{bits}bit",
+                "adder",
+                lambda bits=bits: cuccaro_adder_circuit(bits),
+            )
+        )
+    return sorted(specs, key=lambda spec: spec.name)
+
+
+def generate_corpus(directory: str | Path) -> list[Path]:
+    """Write every corpus circuit to ``<directory>/<name>.qasm``.
+
+    Byte-for-byte deterministic: same specs, same seeds, same files.
+    Returns the written paths in name order.
+    """
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for spec in corpus_specs():
+        path = target / f"{spec.name}.qasm"
+        path.write_text(to_qasm(spec.build()))
+        paths.append(path)
+    return paths
+
+
+def load_corpus(directory: str | Path) -> list[tuple[str, Circuit]]:
+    """Parse every ``.qasm`` file in ``directory``, in name order."""
+    entries = []
+    for path in sorted(Path(directory).glob("*.qasm")):
+        entries.append((path.stem, from_qasm(path.read_text())))
+    return entries
+
+
+def _family_of(name: str) -> str:
+    for spec in corpus_specs():
+        if spec.name == name:
+            return spec.family
+    return "external"
+
+
+def benchmark_one(
+    circuit: Circuit, device_name: str, compiler_name: str
+) -> dict[str, object]:
+    """Compile one corpus circuit on one device with one flow."""
+    device = get_device(device_name)
+    adapter = get_compiler(compiler_name)
+    start = time.perf_counter()
+    result = adapter.compile_circuit(circuit, device)
+    compile_ms = (time.perf_counter() - start) * 1e3
+    routed = result.circuit.decompose_swaps()
+    report = schedule_report(routed)
+    adjacent = cancel_gates(routed)
+    commuting = cancel_gates(routed, commute=True)
+    return {
+        "device": device_name,
+        "compiler": compiler_name,
+        "routed_cnots": routed.num_cnots(),
+        "num_swaps": result.num_swaps,
+        "scheduled_depth": report.scheduled_depth,
+        "duration_ns": report.duration_ns,
+        "cancelled_cnots_adjacent": adjacent.num_cnots(),
+        "cancelled_cnots_commute": commuting.num_cnots(),
+        "cancellation_win": routed.num_cnots() - commuting.num_cnots(),
+        "compile_ms": compile_ms,
+    }
+
+
+def _cache_probe(
+    directory: Path, entries: Sequence[tuple[str, Circuit]]
+) -> dict[str, object]:
+    """Cold/warm compile-cache hit rates over the corpus pipeline path."""
+    from repro.core import Pipeline, PipelineConfig
+    from repro.core.cache import clear_compile_cache, compile_cache
+
+    clear_compile_cache()
+    snapshots = []
+    for _ in range(2):
+        for name, circuit in entries:
+            config = PipelineConfig(
+                problem=f"qasm:{directory / f'{name}.qasm'}",
+                device=corpus_devices(circuit.num_qubits)[0],
+                compiler="mtr",
+            )
+            Pipeline(config).run()
+        stats = compile_cache().stats
+        snapshots.append({"hits": stats.hits, "misses": stats.misses})
+    cold, total = snapshots
+    warm_hits = total["hits"] - cold["hits"]
+    warm_misses = total["misses"] - cold["misses"]
+    warm_lookups = warm_hits + warm_misses
+    return {
+        "cold": cold,
+        "warm": {"hits": warm_hits, "misses": warm_misses},
+        "warm_hit_rate": warm_hits / warm_lookups if warm_lookups else 0.0,
+    }
+
+
+def run_corpus_benchmark(directory: str | Path) -> dict[str, object]:
+    """Compile the whole corpus; returns the ``BENCH_corpus.json`` payload."""
+    target = Path(directory)
+    entries = load_corpus(target)
+    if not entries:
+        raise ValueError(f"no .qasm files found in {target}")
+    rows = []
+    for name, circuit in entries:
+        base = {
+            "circuit": name,
+            "family": _family_of(name),
+            "num_qubits": circuit.num_qubits,
+            "logical_gates": circuit.num_gates(),
+            "logical_cnots": circuit.num_cnots(),
+        }
+        for device_name in corpus_devices(circuit.num_qubits):
+            for compiler_name in CORPUS_COMPILERS:
+                rows.append(base | benchmark_one(circuit, device_name, compiler_name))
+    return {
+        "num_circuits": len(entries),
+        "rows": rows,
+        "cache": _cache_probe(target, entries),
+    }

@@ -41,7 +41,12 @@ from repro.compiler.fusion import (
     fuse_circuit,
     fusion_plan,
 )
-from repro.compiler.layout import hierarchical_initial_layout, trivial_layout
+from repro.compiler.layout import (
+    circuit_cooccurrence,
+    hierarchical_circuit_layout,
+    hierarchical_initial_layout,
+    trivial_layout,
+)
 from repro.compiler.merge_to_root import MergeToRootCompiler, CompiledProgram
 from repro.compiler.sabre import SabreRouter, SabreResult
 from repro.compiler.cancellation import cancel_gates, cancellation_savings
@@ -54,6 +59,7 @@ from repro.compiler.metrics import (
 from repro.compiler.verify import (
     logical_reference_state,
     compiled_state,
+    assert_circuit_routed_equivalent,
     assert_equivalent,
     assert_routed_equivalent,
     states_match,
@@ -87,6 +93,8 @@ __all__ = [
     "fuse_circuit",
     "fusion_plan",
     "hierarchical_initial_layout",
+    "hierarchical_circuit_layout",
+    "circuit_cooccurrence",
     "trivial_layout",
     "MergeToRootCompiler",
     "CompiledProgram",
@@ -103,4 +111,5 @@ __all__ = [
     "states_match",
     "assert_equivalent",
     "assert_routed_equivalent",
+    "assert_circuit_routed_equivalent",
 ]

@@ -45,12 +45,29 @@ def _symmetric_pair_equal(a: Gate, b: Gate) -> bool:
     return a.qubits == b.qubits
 
 
-def cancel_gates(circuit: Circuit, *, commute: bool = False) -> Circuit:
-    """Apply cancellation until a fixed point; returns a new circuit."""
+def cancel_gates(
+    circuit: Circuit, *, commute: bool = False, max_passes: int | None = None
+) -> Circuit:
+    """Apply cancellation until a fixed point; returns a new circuit.
+
+    Every sweep that reports a change strictly reduces the gate count or
+    merges rotations (which can only be removed, never re-split), so the
+    fixed point is reached after at most ``num_gates + 1`` sweeps.
+    ``max_passes`` turns that argument into an enforced bound: exceeding
+    it raises :class:`RuntimeError` instead of looping forever, which the
+    test suite uses as a non-termination tripwire.
+    """
     gates = list(circuit.gates)
     changed = True
+    passes = 0
     while changed:
+        if max_passes is not None and passes >= max_passes:
+            raise RuntimeError(
+                f"gate cancellation did not reach a fixed point within "
+                f"{max_passes} passes ({len(gates)} gates remaining)"
+            )
         gates, changed = _one_pass(gates, circuit.num_qubits, commute)
+        passes += 1
     return Circuit(circuit.num_qubits, gates)
 
 

@@ -5,25 +5,30 @@ qubits that co-occur in many Pauli strings need many CNOTs, so they are
 placed on low-level (inner) physical qubits where paths are short.  Slot
 choice among equal levels attaches a logical qubit below the parent it
 shares the most strings with.
+
+The same placement rule applies to arbitrary gate-level circuits
+(:func:`hierarchical_circuit_layout`): the co-occurrence matrix is then
+counted over two-qubit gates instead of Pauli strings, and everything
+downstream of the matrix is shared.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.circuit.circuit import Circuit
 from repro.core.ir import PauliProgram
 from repro.hardware.coupling import CouplingGraph
 
 
-def hierarchical_initial_layout(
-    program: PauliProgram, graph: CouplingGraph
+def _cooccurrence_layout(
+    cooccurrence: np.ndarray, num_logical: int, graph: CouplingGraph
 ) -> dict[int, int]:
-    """Logical -> physical initial mapping per Algorithm 2."""
-    if program.num_qubits > graph.num_qubits:
+    """Greedy center-out placement from an interaction-count matrix."""
+    if num_logical > graph.num_qubits:
         raise ValueError(
-            f"program needs {program.num_qubits} qubits, device has {graph.num_qubits}"
+            f"program needs {num_logical} qubits, device has {graph.num_qubits}"
         )
-    cooccurrence = program.qubit_cooccurrence()
     occurrence = cooccurrence.sum(axis=1)
     # Sort logical qubits by decreasing connectivity requirement; ties in
     # qubit order for determinism (stable sort on negated counts).
@@ -54,6 +59,35 @@ def hierarchical_initial_layout(
             if child not in physical_of:
                 available.add(child)
     return mapping
+
+
+def hierarchical_initial_layout(
+    program: PauliProgram, graph: CouplingGraph
+) -> dict[int, int]:
+    """Logical -> physical initial mapping per Algorithm 2."""
+    return _cooccurrence_layout(
+        program.qubit_cooccurrence(), program.num_qubits, graph
+    )
+
+
+def circuit_cooccurrence(circuit: Circuit) -> np.ndarray:
+    """Pairwise two-qubit-gate counts (the circuit's interaction graph)."""
+    counts = np.zeros((circuit.num_qubits, circuit.num_qubits), dtype=np.int64)
+    for gate in circuit.gates:
+        if gate.is_two_qubit():
+            a, b = gate.qubits
+            counts[a, b] += 1
+            counts[b, a] += 1
+    return counts
+
+
+def hierarchical_circuit_layout(
+    circuit: Circuit, graph: CouplingGraph
+) -> dict[int, int]:
+    """Algorithm 2 driven by a gate stream instead of Pauli strings."""
+    return _cooccurrence_layout(
+        circuit_cooccurrence(circuit), circuit.num_qubits, graph
+    )
 
 
 def trivial_layout(program: PauliProgram, graph: CouplingGraph) -> dict[int, int]:

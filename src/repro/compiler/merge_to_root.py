@@ -82,13 +82,22 @@ class CompiledProgram:
 
 
 class MergeToRootCompiler:
-    """Compile Pauli programs onto tree devices (Algorithm 3)."""
+    """Compile Pauli programs onto tree-structured devices (Algorithm 3).
+
+    On a non-tree device (e.g. a grid) the compiler operates on the
+    deterministic BFS spanning tree rooted at the graph center
+    (:meth:`~repro.hardware.coupling.CouplingGraph.parent`): routing
+    swaps and synthesis CNOTs are restricted to spanning-tree edges,
+    which are physical edges, so every emitted gate stays legal.  The
+    device merely loses its non-tree shortcuts to this flow -- the
+    trade SABRE exploits and Table II quantifies.
+    """
 
     def __init__(self, graph: CouplingGraph) -> None:
-        if not graph.is_tree():
+        if not graph.is_connected():
             raise ValueError(
-                "Merge-to-Root targets tree-coupled devices; "
-                f"{graph.name} is not a tree"
+                "Merge-to-Root needs a connected coupling graph; "
+                f"{graph.name} is not connected"
             )
         self.graph = graph
         self._levels = graph.levels()
@@ -153,6 +162,78 @@ class MergeToRootCompiler:
             circuit=builder.to_circuit(),
             initial_layout=initial_layout,
             final_layout=final_layout,
+            num_swaps=num_swaps,
+            device=self.graph.name,
+            synthesized_cnots=synthesized,
+            dag=builder,
+        )
+
+    def compile_circuit(
+        self,
+        circuit: Circuit,
+        *,
+        initial_layout: dict[int, int] | None = None,
+    ) -> CompiledProgram:
+        """Route an arbitrary gate-level circuit over the coupling graph.
+
+        The gate-stream analogue of :meth:`compile` for ingested QASM
+        workloads: single-qubit gates are re-addressed through the live
+        mapping; for each two-qubit gate the first operand walks a
+        shortest path toward the second (deterministic min-index step)
+        until they are adjacent.  As in the Pauli flow, swaps are never
+        undone -- later gates reuse the migrated arrangement -- and the
+        mapping's drift is reported in ``final_layout``.
+        """
+        if circuit.num_qubits > self.graph.num_qubits:
+            raise ValueError(
+                f"circuit needs {circuit.num_qubits} qubits, "
+                f"device has {self.graph.num_qubits}"
+            )
+        if initial_layout is None:
+            from repro.compiler.layout import hierarchical_circuit_layout
+
+            initial_layout = hierarchical_circuit_layout(circuit, self.graph)
+        position = dict(initial_layout)
+        occupant = {p: l for l, p in position.items()}
+        if len(occupant) != len(position):
+            raise ValueError("initial layout maps two logical qubits together")
+
+        distances = self.graph.distance_matrix()
+        builder = CircuitDAG(self.graph.num_qubits)
+        num_swaps = 0
+        synthesized = 0
+        for gate in circuit.gates:
+            if len(gate.qubits) != 2 or gate.name == "barrier":
+                builder.append(
+                    Gate(
+                        gate.name,
+                        tuple(position[q] for q in gate.qubits),
+                        gate.params,
+                    )
+                )
+                continue
+            a, b = gate.qubits
+            while distances[position[a], position[b]] > 1:
+                here, there = position[a], position[b]
+                step = min(
+                    node
+                    for node in self.graph.neighbors(here)
+                    if distances[node, there] == distances[here, there] - 1
+                )
+                builder.append(SWAP(here, step))
+                self._apply_swap(here, step, position, occupant)
+                num_swaps += 1
+            builder.append(
+                Gate(gate.name, (position[a], position[b]), gate.params)
+            )
+            if gate.name == "cx":
+                synthesized += 1
+            elif gate.name == "swap":
+                synthesized += 3
+        return CompiledProgram(
+            circuit=builder.to_circuit(),
+            initial_layout=initial_layout,
+            final_layout=dict(position),
             num_swaps=num_swaps,
             device=self.graph.name,
             synthesized_cnots=synthesized,
@@ -227,7 +308,7 @@ class MergeToRootCompiler:
                 node
                 for node in self.graph.neighbors(hole)
                 if node in steiner
-                and self._levels[node] == self._levels[hole] + 1
+                and self._parents[node] == hole
                 and occupant.get(node) in support_set
             ]
             if not children:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from repro.circuit import Circuit
 from repro.compiler.merge_to_root import CompiledProgram, MergeToRootCompiler
 from repro.compiler.sabre import SabreResult, SabreRouter
 from repro.compiler.synthesis import synthesize_program_chain
@@ -49,6 +50,18 @@ class CompilerAdapter:
     ) -> "CompiledProgram | SabreResult":
         raise NotImplementedError
 
+    def compile_circuit(
+        self,
+        circuit: Circuit,
+        device: CouplingGraph,
+        *,
+        initial_layout: dict[int, int] | None = None,
+        seed: int = 11,
+        commute: bool = False,
+    ) -> "CompiledProgram | SabreResult":
+        """Route an arbitrary gate-level circuit (the ingested-QASM path)."""
+        raise NotImplementedError
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"
 
@@ -76,6 +89,21 @@ class MergeToRootAdapter(CompilerAdapter):
             program, parameters, initial_layout=initial_layout
         )
 
+    def compile_circuit(
+        self,
+        circuit: Circuit,
+        device: CouplingGraph,
+        *,
+        initial_layout: dict[int, int] | None = None,
+        seed: int = 11,
+        commute: bool = False,
+    ) -> "CompiledProgram | SabreResult":
+        # seed/commute accepted for interface uniformity: the gate-stream
+        # walk is deterministic and emission order is fixed by the input.
+        return MergeToRootCompiler(device).compile_circuit(
+            circuit, initial_layout=initial_layout
+        )
+
 
 class SabreAdapter(CompilerAdapter):
     """The traditional flow: chain synthesis followed by SABRE mapping."""
@@ -97,6 +125,20 @@ class SabreAdapter(CompilerAdapter):
         chain = synthesize_program_chain(program, parameters)
         return SabreRouter(device, seed=seed, commute=commute).run(
             chain, initial_layout=initial_layout
+        )
+
+    def compile_circuit(
+        self,
+        circuit: Circuit,
+        device: CouplingGraph,
+        *,
+        initial_layout: dict[int, int] | None = None,
+        seed: int = 11,
+        commute: bool = False,
+    ) -> "CompiledProgram | SabreResult":
+        # SABRE already routes arbitrary circuits; no synthesis needed.
+        return SabreRouter(device, seed=seed, commute=commute).run(
+            circuit, initial_layout=initial_layout
         )
 
 

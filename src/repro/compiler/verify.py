@@ -117,3 +117,33 @@ def assert_routed_equivalent(
         result.final_layout,
         tolerance=tolerance,
     )
+
+
+def assert_circuit_routed_equivalent(
+    logical_circuit: Circuit,
+    result: Any,
+    *,
+    circuit: Circuit | None = None,
+    tolerance: float = 1e-8,
+) -> None:
+    """Verify a routed result against a gate-level reference circuit.
+
+    The ingested-QASM analogue of :func:`assert_routed_equivalent`: the
+    reference semantics is direct simulation of the *logical* circuit
+    from ``|0...0>``, transported through the result's ``final_layout``
+    onto the device and compared (up to global phase) with the routed
+    circuit's output.  ``circuit`` optionally substitutes an optimized
+    rewrite of ``result.circuit``.
+    """
+    target = circuit if circuit is not None else result.circuit
+    reference = apply_circuit(logical_circuit)
+    expected = embed_logical_state(
+        reference, result.final_layout, target.num_qubits
+    )
+    actual = compiled_state(target)
+    if not states_match(expected, actual, tolerance=tolerance):
+        overlap = abs(np.vdot(expected, actual))
+        raise AssertionError(
+            f"routed circuit deviates from its logical reference "
+            f"(|overlap| = {overlap:.6f})"
+        )

@@ -63,6 +63,22 @@ def compress_ansatz(
     )
 
 
+def identity_compression(program: PauliProgram) -> CompressedAnsatz:
+    """A no-op compression keeping every parameter in program order.
+
+    Used for ansatze whose term order is semantic rather than
+    importance-ranked (QAOA layers do not commute across layers, so
+    reordering them would change the prepared state).
+    """
+    kept = list(range(program.num_parameters))
+    return CompressedAnsatz(
+        program=program,
+        kept_parameters=kept,
+        importance=np.ones(program.num_parameters),
+        ratio=1.0,
+    )
+
+
 def random_ansatz(
     program: PauliProgram,
     ratio: float,

@@ -27,9 +27,12 @@ from repro.core.compression import CompressedAnsatz, compress_ansatz
 from repro.hardware.coupling import CouplingGraph
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid package cycles
+    from repro.ansatz.circuit_ansatz import CircuitAnsatz
+    from repro.ansatz.qaoa import QAOAAnsatz
     from repro.ansatz.uccsd import UCCSDAnsatz
     from repro.core.cache import ContentAddressedCache
     from repro.core.ir import PauliProgram
+    from repro.problems.registry import CircuitProblem, GraphProblem
     from repro.vqe.runner import VQEResult
 
 #: Layout schemes the ``InitialLayout`` stage understands.  "auto" defers
@@ -88,6 +91,14 @@ class PipelineConfig:
     """
 
     molecule: str = "H2"
+    #: Non-molecular workload spec (:func:`repro.problems.get_problem`):
+    #: ``"maxcut:er-10-3"``, ``"ising:ring-8"``, ``"hubbard:4"`` or
+    #: ``"qasm:<path>"``.  When set, it overrides ``molecule`` and the
+    #: ``BuildAnsatz`` stage emits a QAOA program (graph problems, with
+    #: ``qaoa_layers`` repetitions) or wraps the ingested circuit
+    #: (``qasm:`` problems, routed gate-by-gate).
+    problem: str | None = None
+    qaoa_layers: int = 1
     bond_length: float | None = None
     ratio: float = 0.5
     device: str = "xtree17"
@@ -107,6 +118,8 @@ class PipelineConfig:
     def describe(self) -> str:
         if self.label:
             return self.label
+        if self.problem is not None:
+            return f"{self.problem} {self.compiler} on {self.device}"
         bond = f"@{self.bond_length}A" if self.bond_length is not None else ""
         return (
             f"{self.molecule}{bond} ratio={self.ratio} "
@@ -130,9 +143,9 @@ class PipelineContext:
     """Mutable state threaded through the passes of one pipeline run."""
 
     config: PipelineConfig
-    problem: MolecularProblem | None = None
-    ansatz: "UCCSDAnsatz | None" = None
-    compressed: CompressedAnsatz | None = None
+    problem: "MolecularProblem | GraphProblem | CircuitProblem | None" = None
+    ansatz: "UCCSDAnsatz | QAOAAnsatz | CircuitAnsatz | None" = None
+    compressed: "CompressedAnsatz | CircuitAnsatz | None" = None
     device: CouplingGraph | None = None
     initial_layout: dict[int, int] | None = None
     compiled: Any = None               # CompiledProgram or SabreResult
@@ -163,9 +176,15 @@ def _hamiltonian_key(context: PipelineContext) -> str:
 
     key = context.artifacts.get("hamiltonian_key")
     if key is None:
-        key = pauli_sum_key(context.problem.hamiltonian)
+        hamiltonian = getattr(context.problem, "hamiltonian", None)
+        if hamiltonian is None:
+            raise PipelineError(
+                "content-addressing needs a problem with a Hamiltonian; "
+                f"got {type(context.problem).__name__}"
+            )
+        key = pauli_sum_key(hamiltonian)
         context.artifacts["hamiltonian_key"] = key
-    return key
+    return str(key)
 
 
 class Pass:
@@ -191,29 +210,39 @@ class Pass:
 
 
 class BuildProblem(Pass):
-    """Molecule name -> qubit Hamiltonian (chemistry substrate).
+    """Workload spec -> problem instance.
 
-    Skipped when the context already carries a problem (injected by
-    ``Pipeline.run(problem=...)`` or a prior pipeline), which is how batch
-    runs share one Hamiltonian across configs.
+    ``config.problem`` set: resolve through the problem registry
+    (:func:`repro.problems.get_problem` -- graph costs for QAOA or an
+    ingested QASM circuit).  Otherwise: the molecule name through the
+    chemistry substrate.  Skipped when the context already carries a
+    problem (injected by ``Pipeline.run(problem=...)`` or a prior
+    pipeline), which is how batch runs share one Hamiltonian across
+    configs.
     """
 
     name = "build_problem"
     produces = ("problem",)
 
     def run(self, context: PipelineContext) -> None:
-        if context.problem is None:
+        if context.problem is not None:
+            return
+        if context.config.problem is not None:
+            from repro.problems import get_problem
+
+            context.problem = get_problem(context.config.problem)
+        else:
             context.problem = build_molecule_hamiltonian(
                 context.config.molecule, context.config.bond_length
             )
 
 
 class BuildAnsatz(Pass):
-    """Problem -> full UCCSD Pauli-string program.
+    """Problem -> ansatz: UCCSD (molecular), QAOA (graph) or raw circuit.
 
-    Content-addressed under the Hamiltonian hash when ``config.cache``
-    is on: every pipeline, batch worker, or scan point over the same
-    molecular instance shares one built ansatz.
+    Pauli-program ansatze are content-addressed under the Hamiltonian
+    hash when ``config.cache`` is on: every pipeline, batch worker, or
+    scan point over the same instance shares one built ansatz.
     """
 
     name = "build_ansatz"
@@ -221,10 +250,32 @@ class BuildAnsatz(Pass):
     produces = ("ansatz",)
 
     def run(self, context: PipelineContext) -> None:
-        from repro.ansatz.uccsd import build_uccsd_program
+        from repro.problems.registry import CircuitProblem, GraphProblem
 
         problem = context.require("problem", self.name)
+        if isinstance(problem, CircuitProblem):
+            from repro.ansatz.circuit_ansatz import CircuitAnsatz
+
+            # Wrapping is free; nothing worth caching.
+            context.ansatz = CircuitAnsatz(problem.circuit, name=problem.name)
+            return
         store = _compile_store(context)
+        if isinstance(problem, GraphProblem):
+            from repro.ansatz.qaoa import build_qaoa_ansatz
+
+            layers = context.config.qaoa_layers
+
+            def build_qaoa() -> "QAOAAnsatz":
+                return build_qaoa_ansatz(problem.hamiltonian, layers)
+
+            if store is None:
+                context.ansatz = build_qaoa()
+                return
+            key = ("qaoa-ansatz", _hamiltonian_key(context), int(layers))
+            context.ansatz = store.get_or_compute(key, build_qaoa)
+            return
+        from repro.ansatz.uccsd import build_uccsd_program
+
         if store is None:
             context.ansatz = build_uccsd_program(problem)
             return
@@ -248,8 +299,33 @@ class Compress(Pass):
     produces = ("compressed",)
 
     def run(self, context: PipelineContext) -> None:
+        from repro.ansatz.circuit_ansatz import CircuitAnsatz
+        from repro.ansatz.qaoa import QAOAAnsatz
+
         problem = context.require("problem", self.name)
         ansatz = context.require("ansatz", self.name)
+        if isinstance(ansatz, CircuitAnsatz):
+            # Gate-level workloads have no parameter space to compress;
+            # the circuit flows through untouched.
+            context.compressed = ansatz
+            if context.config.validate:
+                from repro.analysis import assert_clean
+
+                assert_clean(
+                    ansatz.circuit,
+                    context=f"compress({context.config.describe()})",
+                )
+            return
+        if isinstance(ansatz, QAOAAnsatz):
+            # QAOA term order is semantic (layers do not commute), so
+            # importance reordering would change the prepared state;
+            # ``ratio`` is ignored on this path.
+            from repro.core.compression import identity_compression
+
+            context.compressed = identity_compression(ansatz.program)
+            self._commute_metrics(context)
+            self._validate(context)
+            return
         store = _compile_store(context)
 
         def compress() -> CompressedAnsatz:
@@ -273,24 +349,38 @@ class Compress(Pass):
                 float(context.config.decay_base),
             )
             context.compressed = store.get_or_compute(key, compress)
-        if context.config.commute:
-            program = context.compressed.program
-            if store is None:
-                context.metrics.update(_chain_cnot_metrics(program))
-            else:
-                from repro.core.cache import program_key
+        self._commute_metrics(context)
+        self._validate(context)
 
-                key = ("chain-cnot-metrics", program_key(program))
-                context.metrics.update(
-                    store.get_or_compute(key, lambda: _chain_cnot_metrics(program))
-                )
-        if context.config.validate:
-            from repro.analysis import assert_clean
+    def _commute_metrics(self, context: PipelineContext) -> None:
+        """Record the Section VII cancellation numbers when asked to."""
+        if not context.config.commute or not isinstance(
+            context.compressed, CompressedAnsatz
+        ):
+            return
+        program = context.compressed.program
+        store = _compile_store(context)
+        if store is None:
+            context.metrics.update(_chain_cnot_metrics(program))
+        else:
+            from repro.core.cache import program_key
 
-            assert_clean(
-                context.compressed.program,
-                context=f"compress({context.config.describe()})",
+            key = ("chain-cnot-metrics", program_key(program))
+            context.metrics.update(
+                store.get_or_compute(key, lambda: _chain_cnot_metrics(program))
             )
+
+    def _validate(self, context: PipelineContext) -> None:
+        if not context.config.validate or not isinstance(
+            context.compressed, CompressedAnsatz
+        ):
+            return
+        from repro.analysis import assert_clean
+
+        assert_clean(
+            context.compressed.program,
+            context=f"compress({context.config.describe()})",
+        )
 
 
 def _chain_cnot_metrics(program: "PauliProgram") -> dict[str, int]:
@@ -315,43 +405,61 @@ class InitialLayout(Pass):
     produces = ("device", "initial_layout")
 
     def run(self, context: PipelineContext) -> None:
-        from repro.compiler.layout import hierarchical_initial_layout, trivial_layout
+        from repro.ansatz.circuit_ansatz import CircuitAnsatz
         from repro.compiler.registry import get_compiler
         from repro.hardware.registry import get_device
 
         compressed = context.require("compressed", self.name)
         if context.device is None:
             context.device = get_device(context.config.device)
+        device = context.device
         scheme = context.config.layout
         if scheme == "auto":
             scheme = get_compiler(context.config.compiler).default_layout
-        if scheme == "hierarchical":
-            builder = hierarchical_initial_layout
-        elif scheme == "trivial":
-            builder = trivial_layout
-        elif scheme == "none":
+        if scheme == "none":
             context.initial_layout = None
             return
-        else:
+        if scheme not in ("hierarchical", "trivial"):
             raise ValueError(
                 f"unknown layout scheme {scheme!r}; "
                 f"valid schemes: {', '.join(LAYOUT_SCHEMES)}"
             )
+
+        def build_layout() -> dict[int, int]:
+            if isinstance(compressed, CircuitAnsatz):
+                from repro.compiler.layout import hierarchical_circuit_layout
+
+                if scheme == "trivial":
+                    return {
+                        q: q for q in range(compressed.circuit.num_qubits)
+                    }
+                return hierarchical_circuit_layout(compressed.circuit, device)
+            from repro.compiler.layout import (
+                hierarchical_initial_layout,
+                trivial_layout,
+            )
+
+            if scheme == "trivial":
+                return trivial_layout(compressed.program, device)
+            return hierarchical_initial_layout(compressed.program, device)
+
         store = _compile_store(context)
         if store is None:
-            context.initial_layout = builder(compressed.program, context.device)
+            context.initial_layout = build_layout()
             return
-        from repro.core.cache import coupling_key, program_key
+        from repro.core.cache import circuit_key, coupling_key, program_key
 
+        if isinstance(compressed, CircuitAnsatz):
+            staged_key = circuit_key(compressed.circuit, values=False)
+        else:
+            staged_key = program_key(compressed.program)
         key = (
             "initial-layout",
             scheme,
-            program_key(compressed.program),
+            staged_key,
             coupling_key(context.device),
         )
-        context.initial_layout = store.get_or_compute(
-            key, lambda: builder(compressed.program, context.device)
-        )
+        context.initial_layout = store.get_or_compute(key, build_layout)
 
 
 class Route(Pass):
@@ -382,18 +490,28 @@ class Route(Pass):
     )
 
     def run(self, context: PipelineContext) -> None:
+        from repro.ansatz.circuit_ansatz import CircuitAnsatz
         from repro.compiler.registry import get_compiler
         from repro.hardware.registry import get_device
 
         compressed = context.require("compressed", self.name)
         if context.device is None:
             context.device = get_device(context.config.device)
+        device = context.device
         compiler = get_compiler(context.config.compiler)
 
         def compile_program() -> Any:
+            if isinstance(compressed, CircuitAnsatz):
+                return compiler.compile_circuit(
+                    compressed.circuit,
+                    device,
+                    initial_layout=context.initial_layout,
+                    seed=context.config.seed,
+                    commute=context.config.commute,
+                )
             return compiler.compile(
                 compressed.program,
-                context.device,
+                device,
                 initial_layout=context.initial_layout,
                 seed=context.config.seed,
                 commute=context.config.commute,
@@ -404,14 +522,18 @@ class Route(Pass):
             context.compiled = compile_program()
             self._validate(context)
             return
-        from repro.core.cache import coupling_key, program_key
+        from repro.core.cache import circuit_key, coupling_key, program_key
 
+        if isinstance(compressed, CircuitAnsatz):
+            staged_key = circuit_key(compressed.circuit)
+        else:
+            staged_key = program_key(compressed.program)
         layout = context.initial_layout
         key = (
             "route",
             context.config.compiler,
             coupling_key(context.device),
-            program_key(compressed.program),
+            staged_key,
             None if layout is None else tuple(sorted(layout.items())),
             context.config.seed,
             context.config.commute,
@@ -477,10 +599,23 @@ class Energy(Pass):
         from repro.vqe.runner import VQE
 
         problem = context.require("problem", self.name)
-        staged = context.compressed.program if context.compressed else None
+        if not isinstance(problem, MolecularProblem):
+            raise PipelineError(
+                "the Energy stage runs VQE against a molecular problem; "
+                f"got {type(problem).__name__}"
+            )
+        staged = (
+            context.compressed.program
+            if isinstance(context.compressed, CompressedAnsatz)
+            else None
+        )
         if staged is None:
             ansatz = context.require("ansatz", self.name)
-            staged = ansatz.program
+            staged = getattr(ansatz, "program", None)
+            if staged is None:
+                raise PipelineError(
+                    "the Energy stage needs a Pauli-program ansatz"
+                )
         result = VQE(
             staged,
             problem.hamiltonian,
@@ -564,17 +699,26 @@ def collect_metrics(context: PipelineContext) -> dict[str, Any]:
         "ratio": config.ratio,
         "compiler": config.compiler,
     }
-    if context.problem is not None:
+    if config.problem is not None:
+        metrics["problem"] = config.problem
+        del metrics["molecule"]
+    if isinstance(context.problem, MolecularProblem):
         metrics["bond_length"] = float(context.problem.molecule.bond_length)
-        metrics["num_qubits"] = int(context.problem.num_qubits)
-    elif config.bond_length is not None:
+    elif context.problem is None and config.bond_length is not None:
         metrics["bond_length"] = float(config.bond_length)
+    if context.problem is not None:
+        metrics["num_qubits"] = int(context.problem.num_qubits)
     if context.ansatz is not None:
         metrics["total_parameters"] = int(context.ansatz.num_parameters)
-    if context.compressed is not None:
+    if isinstance(context.compressed, CompressedAnsatz):
         metrics["num_parameters"] = int(context.compressed.num_parameters)
         metrics["num_pauli_strings"] = int(len(context.compressed.program))
         metrics["original_cnots"] = int(context.compressed.program.cnot_count())
+    elif context.compressed is not None:
+        # Gate-level workload: the "original" cost is the logical circuit.
+        circuit = context.compressed.circuit
+        metrics["original_cnots"] = int(circuit.num_cnots())
+        metrics["original_gates"] = int(circuit.num_gates())
     if context.device is not None:
         metrics["device"] = context.device.name
         metrics["device_edges"] = int(context.device.num_edges)

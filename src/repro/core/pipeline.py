@@ -66,7 +66,10 @@ from repro.core.passes import (
 from repro.hardware.coupling import CouplingGraph
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid package cycles
+    from repro.ansatz.circuit_ansatz import CircuitAnsatz
+    from repro.ansatz.qaoa import QAOAAnsatz
     from repro.ansatz.uccsd import UCCSDAnsatz
+    from repro.problems.registry import CircuitProblem, GraphProblem
     from repro.vqe.runner import VQEResult
 
 #: Stage classes of the default co-optimization pipeline, in order.
@@ -121,9 +124,9 @@ class CoOptimizationResult:
     and ``record``.  The scalar accessors work on both.
     """
 
-    problem: MolecularProblem | None
-    full_ansatz: "UCCSDAnsatz | None"
-    compressed: CompressedAnsatz | None
+    problem: "MolecularProblem | GraphProblem | CircuitProblem | None"
+    full_ansatz: "UCCSDAnsatz | QAOAAnsatz | CircuitAnsatz | None"
+    compressed: "CompressedAnsatz | CircuitAnsatz | None"
     compiled: Any
     device: CouplingGraph | None
     config: PipelineConfig | None = None
@@ -149,8 +152,10 @@ class CoOptimizationResult:
     # ------------------------------------------------------------------
     @property
     def original_cnots(self) -> int:
-        if self.compressed is not None:
+        if isinstance(self.compressed, CompressedAnsatz):
             return self.compressed.program.cnot_count()
+        if self.compressed is not None:
+            return self.compressed.circuit.num_cnots()
         return int(self.metrics["original_cnots"])
 
     @property
@@ -172,13 +177,23 @@ class CoOptimizationResult:
         return str(self.metrics.get("device", "?"))
 
     def summary(self) -> str:
-        if self.compressed is not None and self.full_ansatz is not None:
+        if (
+            isinstance(self.compressed, CompressedAnsatz)
+            and self.full_ansatz is not None
+            and isinstance(self.problem, MolecularProblem)
+        ):
             kept = self.compressed.num_parameters
             total = self.full_ansatz.num_parameters
             return (
                 f"{self.problem.molecule.name}: kept {kept}/{total} parameters "
                 f"({self.compressed.ratio:.0%}), {len(self.compressed.program)} "
                 f"Pauli strings, {self.original_cnots} CNOTs + "
+                f"{self.overhead_cnots} overhead on {self.device_name}"
+            )
+        if self.compressed is not None and self.config is not None:
+            label = self.config.describe()
+            return (
+                f"{label}: {self.original_cnots} CNOTs + "
                 f"{self.overhead_cnots} overhead on {self.device_name}"
             )
         m = self.metrics
@@ -209,7 +224,7 @@ class CoOptimizationResult:
             metrics = {**collect_metrics(context), **metrics}
         kept = (
             [int(k) for k in self.compressed.kept_parameters]
-            if self.compressed is not None
+            if isinstance(self.compressed, CompressedAnsatz)
             else None
         )
         initial_layout = final_layout = None
@@ -226,8 +241,16 @@ class CoOptimizationResult:
         }
 
     def _fallback_config(self) -> PipelineConfig:
-        molecule = self.problem.molecule.name if self.problem else "?"
-        ratio = self.compressed.ratio if self.compressed else 1.0
+        molecule = (
+            self.problem.molecule.name
+            if isinstance(self.problem, MolecularProblem)
+            else "?"
+        )
+        ratio = (
+            self.compressed.ratio
+            if isinstance(self.compressed, CompressedAnsatz)
+            else 1.0
+        )
         return PipelineConfig(molecule=molecule, ratio=ratio)
 
     @classmethod

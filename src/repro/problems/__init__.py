@@ -1,0 +1,34 @@
+"""Non-molecular problem instances (QAOA graphs, arbitrary QASM).
+
+* :mod:`repro.problems.graphs` -- seeded graph generators and diagonal
+  cost Hamiltonians (MaxCut, Ising) over the shared Pauli algebra.
+* :mod:`repro.problems.registry` -- spec-string resolution
+  (``"maxcut:er-10-3"``, ``"qasm:benchmarks/corpus/ghz_10.qasm"``) for
+  the pipeline's ``BuildProblem`` stage.
+"""
+
+from repro.problems.graphs import (
+    Graph,
+    erdos_renyi_graph,
+    ising_hamiltonian,
+    maxcut_hamiltonian,
+    random_regular_graph,
+    ring_graph,
+)
+from repro.problems.registry import (
+    CircuitProblem,
+    GraphProblem,
+    get_problem,
+)
+
+__all__ = [
+    "Graph",
+    "erdos_renyi_graph",
+    "random_regular_graph",
+    "ring_graph",
+    "maxcut_hamiltonian",
+    "ising_hamiltonian",
+    "GraphProblem",
+    "CircuitProblem",
+    "get_problem",
+]

@@ -121,9 +121,19 @@ class TestHierarchicalLayout:
 
 
 class TestMergeToRoot:
-    def test_rejects_non_tree(self):
+    def test_accepts_connected_non_tree(self):
+        # Non-tree devices are handled through a BFS spanning tree.
+        compiler = MergeToRootCompiler(grid17q())
+        program = random_program(4, 4, seed=7)
+        params = np.random.default_rng(7).normal(size=4)
+        compiled = compiler.compile(program, params)
+        assert_equivalent(program, params, compiled.circuit, compiled.final_layout)
+
+    def test_rejects_disconnected_graph(self):
+        from repro.hardware.coupling import CouplingGraph
+
         with pytest.raises(ValueError):
-            MergeToRootCompiler(grid17q())
+            MergeToRootCompiler(CouplingGraph(4, [(0, 1), (2, 3)], name="split"))
 
     @pytest.mark.parametrize("seed", range(8))
     def test_random_programs_equivalent_on_xtree8(self, seed):

@@ -1,0 +1,137 @@
+"""QAOA ansatz construction, semantics, and pipeline integration."""
+
+import numpy as np
+import pytest
+
+from repro.ansatz import CircuitAnsatz, QAOAAnsatz, build_qaoa_ansatz
+from repro.core import Pipeline, PipelineConfig
+from repro.problems import get_problem, maxcut_hamiltonian, ring_graph
+from repro.sim import ExpectationEngine, basis_state
+from repro.sim.pauli_evolution import evolve_pauli_sequence
+
+
+def _state(ansatz, gammas, betas):
+    program = ansatz.program
+    params = ansatz.parameters(gammas, betas)
+    state = basis_state(program.num_qubits, 0)
+    return evolve_pauli_sequence(program.bound_terms(params), state)
+
+
+class TestBuildQAOA:
+    def test_structure(self):
+        hamiltonian = maxcut_hamiltonian(ring_graph(4))
+        ansatz = build_qaoa_ansatz(hamiltonian, layers=2)
+        assert isinstance(ansatz, QAOAAnsatz)
+        assert ansatz.num_qubits == 4
+        # 1 shared prep parameter + (gamma, beta) per layer.
+        assert ansatz.num_parameters == 5
+        # 4 prep Y + 2 * (4 ZZ cost + 4 X mixer); identity term dropped.
+        assert ansatz.num_pauli_strings == 4 + 2 * 8
+
+    def test_identity_terms_skipped(self):
+        hamiltonian = maxcut_hamiltonian(ring_graph(4))
+        ansatz = build_qaoa_ansatz(hamiltonian, layers=1)
+        assert all(
+            not term.pauli.is_identity() for term in ansatz.program.terms
+        )
+
+    def test_rejects_bad_inputs(self):
+        hamiltonian = maxcut_hamiltonian(ring_graph(4))
+        with pytest.raises(ValueError):
+            build_qaoa_ansatz(hamiltonian, layers=0)
+        with pytest.raises(ValueError):
+            build_qaoa_ansatz(hamiltonian, layers=1, initial_state="bell")
+
+    def test_parameters_validates_lengths(self):
+        ansatz = build_qaoa_ansatz(maxcut_hamiltonian(ring_graph(4)), layers=2)
+        with pytest.raises(ValueError):
+            ansatz.parameters([0.1], [0.2, 0.3])
+
+
+class TestQAOASemantics:
+    def test_zero_angles_prepare_uniform_superposition(self):
+        graph = ring_graph(4)
+        ansatz = build_qaoa_ansatz(maxcut_hamiltonian(graph), layers=1)
+        state = _state(ansatz, [0.0], [0.0])
+        # |+>^4: every amplitude 1/4 (up to global phase).
+        assert np.allclose(np.abs(state), 0.25)
+        # <H_cut> over the uniform distribution = |E| / 2.
+        engine = ExpectationEngine(maxcut_hamiltonian(graph))
+        assert engine.value(state) == pytest.approx(graph.num_edges / 2)
+
+    def test_optimized_angles_beat_random_guessing(self):
+        # Known-good p=1 angles for the ring: the expected cut must
+        # strictly exceed the uniform-superposition baseline.
+        graph = ring_graph(6)
+        hamiltonian = maxcut_hamiltonian(graph)
+        ansatz = build_qaoa_ansatz(hamiltonian, layers=1)
+        engine = ExpectationEngine(hamiltonian)
+        best = max(
+            engine.value(_state(ansatz, [g], [b]))
+            for g in np.linspace(0.2, 1.2, 6)
+            for b in np.linspace(0.2, 1.2, 6)
+        )
+        assert best > graph.num_edges / 2 + 0.5
+
+    def test_layers_are_not_reordered(self):
+        # The p=2 state differs from p=1 applied twice with swapped
+        # angle pairs: layer order is semantic.
+        hamiltonian = maxcut_hamiltonian(ring_graph(4))
+        ansatz = build_qaoa_ansatz(hamiltonian, layers=2)
+        forward = _state(ansatz, [0.4, 0.9], [0.3, 0.7])
+        swapped = _state(ansatz, [0.9, 0.4], [0.7, 0.3])
+        assert abs(abs(np.vdot(forward, swapped)) - 1.0) > 1e-3
+
+
+class TestQAOAPipeline:
+    @pytest.mark.parametrize("compiler", ["mtr", "sabre"])
+    def test_end_to_end(self, compiler):
+        config = PipelineConfig(
+            problem="maxcut:er-8-5",
+            qaoa_layers=2,
+            device="xtree8",
+            compiler=compiler,
+        )
+        result = Pipeline(config).run()
+        assert result.metrics["problem"] == "maxcut:er-8-5"
+        assert result.metrics["num_qubits"] == 8
+        assert result.metrics["total_cnots"] > 0
+        assert result.metrics["scheduled_depth"] > 0
+
+    def test_pipeline_is_cached_and_deterministic(self):
+        from repro.core.cache import clear_compile_cache, compile_cache
+
+        config = PipelineConfig(
+            problem="maxcut:reg3-6-2", device="grid2x3", compiler="sabre"
+        )
+        clear_compile_cache()
+        cold = Pipeline(config).run()
+        cold_hits, cold_misses = compile_cache().stats.hits, compile_cache().stats.misses
+        warm = Pipeline(config).run()
+        warm_hits, warm_misses = compile_cache().stats.hits, compile_cache().stats.misses
+        assert warm_hits > cold_hits
+        assert warm_misses == cold_misses
+        assert cold.metrics == warm.metrics
+
+    def test_circuit_ansatz_path(self, tmp_path):
+        from repro.circuit import Circuit
+        from repro.circuit.gates import CNOT, H, RZ
+        from repro.circuit.qasm import to_qasm
+
+        circuit = Circuit(4, [H(0), CNOT(0, 1), RZ(0.3, 1), CNOT(1, 2), CNOT(2, 3)])
+        path = tmp_path / "chain.qasm"
+        path.write_text(to_qasm(circuit))
+        result = Pipeline(
+            PipelineConfig(problem=f"qasm:{path}", device="xtree6", compiler="mtr")
+        ).run()
+        assert isinstance(result.full_ansatz, CircuitAnsatz)
+        assert result.metrics["original_cnots"] == 3
+        assert result.metrics["total_cnots"] >= 3
+
+    def test_hubbard_problem_compiles(self):
+        problem = get_problem("hubbard:2")
+        assert problem.num_qubits >= 2
+        result = Pipeline(
+            PipelineConfig(problem="hubbard:2", device="xtree5", compiler="sabre")
+        ).run()
+        assert result.metrics["total_cnots"] > 0

@@ -5,14 +5,18 @@ Compiles each of the paper's nine benchmark molecules with both
 registered flows (Merge-to-Root and SABRE) and runs the full check
 registry over every produced artifact: the routed result (bounds,
 gate set, parameters, coupling legality, layout permutation, DAG
-invariants) plus the compressed Pauli program.  Exit status is 1 when
-any artifact yields an ERROR diagnostic; ``--report`` writes the
-per-artifact findings as JSON (the CI diagnostics artifact).
+invariants) plus the compressed Pauli program.  The committed QASM
+corpus (``benchmarks/corpus/``) is sanitized the same way -- every
+corpus circuit routed by both flows on its exact-fit XTree device --
+unless ``--no-corpus`` is given.  Exit status is 1 when any artifact
+yields an ERROR diagnostic; ``--report`` writes the per-artifact
+findings as JSON (the CI diagnostics artifact).
 
 Usage:
     PYTHONPATH=src python tools/check_circuits.py
     PYTHONPATH=src python tools/check_circuits.py --report analysis_report.json
     PYTHONPATH=src python tools/check_circuits.py --molecules H2 LiH
+    PYTHONPATH=src python tools/check_circuits.py --no-corpus
 """
 
 from __future__ import annotations
@@ -53,6 +57,28 @@ def check_instance(molecule: str, compiler: str, ratio: float) -> list[dict]:
     return rows
 
 
+def check_corpus() -> list[dict]:
+    """Route every corpus circuit with both flows and sanitize the results."""
+    from repro.bench.corpus import corpus_devices, load_corpus
+    from repro.compiler import get_compiler
+    from repro.hardware import get_device
+
+    corpus_dir = Path(__file__).resolve().parent.parent / "benchmarks" / "corpus"
+    rows = []
+    for name, circuit in load_corpus(corpus_dir):
+        device_name = corpus_devices(circuit.num_qubits)[0]
+        device = get_device(device_name)
+        for compiler in COMPILERS:
+            result = get_compiler(compiler).compile_circuit(circuit, device)
+            report = analysis.check(
+                result,
+                device=device,
+                subject=f"corpus/{name}/{compiler}",
+            )
+            rows.append(report.to_dict())
+    return rows
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -67,25 +93,35 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--report", type=Path, default=None, help="write findings as JSON here"
     )
+    parser.add_argument(
+        "--no-corpus",
+        action="store_true",
+        help="skip the benchmarks/corpus/ sanitization sweep",
+    )
     args = parser.parse_args(argv)
+
+    produced: list[dict] = []
+    for molecule in args.molecules:
+        for compiler in COMPILERS:
+            produced.extend(check_instance(molecule, compiler, args.ratio))
+    if not args.no_corpus:
+        produced.extend(check_corpus())
 
     rows: list[dict] = []
     failures = 0
-    for molecule in args.molecules:
-        for compiler in COMPILERS:
-            for row in check_instance(molecule, compiler, args.ratio):
-                rows.append(row)
-                status = "ok" if row["ok"] else "FAIL"
-                print(
-                    f"{row['subject']:<28} {len(row['checks_run'])} check(s) "
-                    f"{row['num_errors']} error(s)  {status}"
-                )
-                if not row["ok"]:
-                    failures += 1
-                    for diagnostic in row["diagnostics"]:
-                        if diagnostic["severity"] == "error":
-                            print(f"    {diagnostic['check']}: "
-                                  f"{diagnostic['message']}")
+    for row in produced:
+        rows.append(row)
+        status = "ok" if row["ok"] else "FAIL"
+        print(
+            f"{row['subject']:<36} {len(row['checks_run'])} check(s) "
+            f"{row['num_errors']} error(s)  {status}"
+        )
+        if not row["ok"]:
+            failures += 1
+            for diagnostic in row["diagnostics"]:
+                if diagnostic["severity"] == "error":
+                    print(f"    {diagnostic['check']}: "
+                          f"{diagnostic['message']}")
 
     if args.report is not None:
         args.report.write_text(

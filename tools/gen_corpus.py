@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Regenerate (or verify) the committed OpenQASM benchmark corpus.
+
+The corpus under ``benchmarks/corpus/`` is a pure function of the specs
+in :mod:`repro.bench.corpus` -- seeded RNGs, no wall-clock, no global
+state -- so regeneration is byte-for-byte reproducible.  ``--check``
+regenerates into a scratch directory and diffs against the committed
+files, failing on any drift (the CI determinism gate).
+
+Usage:
+    PYTHONPATH=src python tools/gen_corpus.py            # (re)write corpus
+    PYTHONPATH=src python tools/gen_corpus.py --check    # verify, no writes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.corpus import generate_corpus  # noqa: E402
+
+DEFAULT_CORPUS_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "corpus"
+
+
+def check(corpus_dir: Path) -> int:
+    """Regenerate into a scratch dir and byte-compare with ``corpus_dir``."""
+    with tempfile.TemporaryDirectory() as scratch:
+        fresh = {path.name: path.read_bytes() for path in generate_corpus(scratch)}
+    committed = {
+        path.name: path.read_bytes() for path in sorted(corpus_dir.glob("*.qasm"))
+    }
+    drifted = sorted(
+        name
+        for name in fresh.keys() | committed.keys()
+        if fresh.get(name) != committed.get(name)
+    )
+    for name in drifted:
+        if name not in committed:
+            print(f"MISSING   {name} (not committed)")
+        elif name not in fresh:
+            print(f"STALE     {name} (committed but no longer generated)")
+        else:
+            print(f"DRIFTED   {name} (bytes differ)")
+    print(
+        f"gen_corpus --check: {len(fresh)} generated, "
+        f"{len(committed)} committed, {len(drifted)} mismatch(es)",
+        file=sys.stderr,
+    )
+    return 1 if drifted else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--corpus-dir",
+        type=Path,
+        default=DEFAULT_CORPUS_DIR,
+        help=f"corpus directory (default {DEFAULT_CORPUS_DIR})",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the committed corpus matches regeneration; write nothing",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return check(args.corpus_dir)
+    paths = generate_corpus(args.corpus_dir)
+    for path in paths:
+        print(f"wrote {path}")
+    print(f"gen_corpus: {len(paths)} file(s) in {args.corpus_dir}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
