@@ -49,6 +49,7 @@ from repro.core.passes import (
 )
 from repro.core.pipeline import (
     DEFAULT_PASSES,
+    BatchItemError,
     CoOptimizationResult,
     Pipeline,
     co_optimize,
@@ -91,6 +92,7 @@ __all__ = [
     "DEFAULT_PASSES",
     "default_passes",
     "Pipeline",
+    "BatchItemError",
     "CoOptimizationResult",
     "co_optimize",
     "run_batch",

@@ -88,6 +88,12 @@ class PipelineConfig:
     a run are memoized under canonical content hashes, so repeated
     pipelines, ``run_batch`` workers, and ``bond_scan`` points sharing
     structure skip recompilation entirely.
+
+    ``array_backend`` selects the tensor library behind every simulation
+    the pipeline performs (:mod:`repro.sim.backend`): ``"numpy"`` (the
+    default) runs the in-place fast paths; ``"cupy"``/``"torch"``
+    dispatch the same math through those libraries' array APIs when they
+    are importable.
     """
 
     molecule: str = "H2"
@@ -107,6 +113,7 @@ class PipelineConfig:
     engine: str = "inplace"
     fusion: str = "2q"
     cache: bool = True
+    array_backend: str = "numpy"
     validate: bool = True
     trajectories: int = 256
     dag: bool = True
@@ -579,6 +586,7 @@ class Energy(Pass):
         engine: str | None = None,
         fusion: str | None = None,
         cache: bool | None = None,
+        array_backend: str | None = None,
         gradient: str | None = None,
         noise: Any = None,
         trajectories: int | None = None,
@@ -589,6 +597,7 @@ class Energy(Pass):
         self.engine = engine
         self.fusion = fusion
         self.cache = cache
+        self.array_backend = array_backend
         self.gradient = gradient
         self.noise = noise
         self.trajectories = trajectories
@@ -623,6 +632,7 @@ class Energy(Pass):
             engine=self.engine or context.config.engine,
             fusion=self.fusion or context.config.fusion,
             cache=context.config.cache if self.cache is None else self.cache,
+            array_backend=self.array_backend or context.config.array_backend,
             gradient=self.gradient,
             noise=self.noise,
             trajectories=self.trajectories or context.config.trajectories,

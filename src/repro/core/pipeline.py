@@ -12,8 +12,11 @@ The flow is a :class:`Pipeline` of named, swappable passes (see
 
 ``co_optimize`` remains as a thin compatibility wrapper that builds the
 default pipeline; :func:`run_batch` fans a list of configs out over a
-thread pool with shared per-problem Hamiltonian caching, and results
-serialize through ``to_dict``/``from_dict`` for persistence and diffing.
+serial loop, a thread pool with shared per-problem Hamiltonian caching,
+or a process pool that ships Hamiltonian tables through shared memory
+(``executor="serial" | "thread" | "process"``), aggregating per-item
+failures as :class:`BatchItemError` records, and results serialize
+through ``to_dict``/``from_dict`` for persistence and diffing.
 
 Usage -- run one instance, swap a stage, batch a sweep:
 
@@ -41,12 +44,14 @@ path follows ``PipelineConfig.engine`` (see ``docs/performance.md``).
 from __future__ import annotations
 
 import copy
+import dataclasses
 import json
-import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
+
+import numpy as np
 
 from repro.chem.hamiltonian import MolecularProblem, build_molecule_hamiltonian
 from repro.core.compression import CompressedAnsatz
@@ -444,52 +449,269 @@ def co_optimize(
     return Pipeline(config).run(problem=problem, device=device_graph)
 
 
+@dataclass(frozen=True)
+class BatchItemError:
+    """Failure record for one config of a :func:`run_batch` call.
+
+    A worker exception no longer aborts the whole batch: the failed
+    item's slot in the result list holds one of these (index into the
+    input configs, the config itself, and the stringified error) while
+    every sibling keeps its completed result.  Filter with
+    ``isinstance`` to split successes from failures.
+    """
+
+    index: int
+    config: PipelineConfig | None
+    error: str
+    error_type: str
+
+    def __str__(self) -> str:
+        label = self.config.describe() if self.config is not None else "?"
+        return f"batch item {self.index} ({label}): {self.error_type}: {self.error}"
+
+
+def _hamiltonian_tables(hamiltonian: Any) -> dict[str, np.ndarray] | None:
+    """Pauli-term coefficient tables of one Hamiltonian, as flat arrays.
+
+    Returns ``None`` past 64 qubits (masks no longer fit ``uint64``;
+    such problems fall back to pickling the Hamiltonian itself).
+    """
+    if hamiltonian.num_qubits > 64:
+        return None
+    keys = []
+    coefficients = []
+    for (x_mask, z_mask), coefficient in hamiltonian.items():
+        keys.append((x_mask, z_mask))
+        coefficients.append(coefficient)
+    return {
+        "x": np.array([k[0] for k in keys], dtype=np.uint64),
+        "z": np.array([k[1] for k in keys], dtype=np.uint64),
+        "coeff": np.array(coefficients, dtype=np.complex128),
+    }
+
+
+#: Per-process memo of problems restored from shared-memory tables,
+#: keyed by (segment name, slot): a worker rebuilds each unique
+#: Hamiltonian once and every later task for the same problem reuses it.
+_RESTORED_PROBLEMS: dict[tuple[str, int], MolecularProblem] = {}
+
+
+def _restore_problem(handle: Any, slot: int, skeleton: MolecularProblem) -> MolecularProblem:
+    """Rebuild a molecular problem from its shared-memory Pauli tables."""
+    from repro.core.shm import SharedSlabs
+    from repro.pauli import PauliSum
+
+    key = (handle.segment, slot)
+    if key not in _RESTORED_PROBLEMS:
+        slabs = SharedSlabs.attach(handle)
+        try:
+            x_masks = slabs[f"{slot}:x"]
+            z_masks = slabs[f"{slot}:z"]
+            coefficients = slabs[f"{slot}:coeff"]
+            terms = {
+                (int(x_masks[i]), int(z_masks[i])): complex(coefficients[i])
+                for i in range(len(coefficients))
+            }
+        finally:
+            slabs.close()
+        hamiltonian = PauliSum(skeleton.num_qubits, terms)
+        _RESTORED_PROBLEMS[key] = dataclasses.replace(
+            skeleton, hamiltonian=hamiltonian
+        )
+    return _RESTORED_PROBLEMS[key]
+
+
+def _batch_item_task(
+    payload: tuple[int, PipelineConfig, Callable[..., Any], Any, int | None, Any],
+) -> dict[str, Any] | BatchItemError:
+    """Run one batch config in a pool worker (module-level: picklable).
+
+    Returns the result's JSON-safe snapshot (``to_dict``) rather than
+    the live object so only a small dict crosses the process boundary,
+    or a :class:`BatchItemError` when the pipeline raises.
+    """
+    index, config, factory, handle, slot, skeleton = payload
+    try:
+        problem = None
+        if handle is not None and slot is not None and skeleton is not None:
+            problem = _restore_problem(handle, slot, skeleton)
+        result = factory(config).run(problem=problem)
+        return result.to_dict()
+    except Exception as exc:  # noqa: BLE001 - aggregated, not swallowed
+        return BatchItemError(
+            index=index,
+            config=config,
+            error=str(exc),
+            error_type=type(exc).__name__,
+        )
+
+
+def _run_batch_item(
+    index: int,
+    config: PipelineConfig,
+    factory: Callable[[PipelineConfig], Pipeline],
+) -> CoOptimizationResult | BatchItemError:
+    """In-process (serial/thread) batch item: live result or error record."""
+    try:
+        return factory(config).run()
+    except Exception as exc:  # noqa: BLE001 - aggregated, not swallowed
+        return BatchItemError(
+            index=index,
+            config=config,
+            error=str(exc),
+            error_type=type(exc).__name__,
+        )
+
+
+def _run_batch_process(
+    configs: list[PipelineConfig],
+    factory: Callable[[PipelineConfig], Pipeline],
+    count: int,
+) -> list[CoOptimizationResult | BatchItemError]:
+    """Process-pool fan-out with Hamiltonian tables in shared memory.
+
+    The parent builds each unique (molecule, bond length) Hamiltonian
+    once, places its Pauli coefficient tables in one shared-memory
+    segment (:class:`repro.core.shm.SharedSlabs`), and ships workers a
+    *skeleton* problem (everything but the Hamiltonian) plus the slab
+    handle; workers map the tables zero-copy and rebuild the problem
+    through a per-process memo, so the heavyweight chemistry runs once
+    total instead of once per worker.
+    """
+    from repro.core.shm import SharedSlabs
+    from repro.pauli import PauliSum
+
+    unique: dict[tuple[str, float | None], MolecularProblem] = {}
+    for config in configs:
+        if config.problem is not None:
+            continue  # non-molecular workloads rebuild in the worker
+        key = (config.molecule, config.bond_length)
+        if key not in unique:
+            try:
+                unique[key] = build_molecule_hamiltonian(
+                    config.molecule, config.bond_length
+                )
+            except Exception:  # noqa: BLE001 - recorded by the item's own run
+                continue
+
+    tables: dict[str, np.ndarray] = {}
+    slots: dict[tuple[str, float | None], int] = {}
+    skeletons: dict[tuple[str, float | None], MolecularProblem] = {}
+    for slot, (key, problem) in enumerate(unique.items()):
+        exported = _hamiltonian_tables(problem.hamiltonian)
+        if exported is None:
+            continue
+        slots[key] = slot
+        tables[f"{slot}:x"] = exported["x"]
+        tables[f"{slot}:z"] = exported["z"]
+        tables[f"{slot}:coeff"] = exported["coeff"]
+        # The skeleton pickles per task but is tiny next to the tables.
+        skeletons[key] = dataclasses.replace(
+            problem, hamiltonian=PauliSum(problem.num_qubits)
+        )
+
+    slabs = SharedSlabs.create(tables) if tables else None
+    try:
+        handle = slabs.handle if slabs is not None else None
+        payloads = []
+        for index, config in enumerate(configs):
+            key = (config.molecule, config.bond_length)
+            if config.problem is None and key in slots:
+                payloads.append(
+                    (index, config, factory, handle, slots[key], skeletons[key])
+                )
+            else:
+                payloads.append((index, config, factory, None, None, None))
+        with ProcessPoolExecutor(max_workers=count) as pool:
+            raw = list(pool.map(_batch_item_task, payloads))
+    finally:
+        if slabs is not None:
+            slabs.unlink()
+    return [
+        item
+        if isinstance(item, BatchItemError)
+        else CoOptimizationResult.from_dict(item)
+        for item in raw
+    ]
+
+
 def run_batch(
     configs: Iterable[PipelineConfig],
     *,
-    workers: int | None = None,
+    executor: str = "thread",
+    workers: int | str | None = None,
     pipeline_factory: Callable[[PipelineConfig], Pipeline] | None = None,
-) -> list[CoOptimizationResult]:
+) -> list[CoOptimizationResult | BatchItemError]:
     """Run many pipeline configs concurrently (bond scans, yield studies).
 
-    The chemistry substrate dominates cold-start cost, so each unique
-    (molecule, bond length) Hamiltonian is built exactly once up front --
-    concurrently, but one task per problem -- before the per-config
-    pipelines fan out over the thread pool.  Results are returned in
-    input order.
+    ``executor`` picks the fan-out strategy (``"serial"`` / ``"thread"``
+    / ``"process"``); ``workers`` the pool width (``None``/``"auto"``
+    means the CPU count, capped at the task count).  The thread pool
+    (default) shares the in-process Hamiltonian cache, so each unique
+    (molecule, bond length) problem is built exactly once up front; the
+    process pool sidesteps the GIL for compile-heavy sweeps by shipping
+    each unique Hamiltonian's Pauli coefficient tables through shared
+    memory (:mod:`repro.core.shm`) -- workers map the tables zero-copy
+    instead of unpickling per task.  Every config is an independent,
+    deterministic task, so all three executors produce identical
+    results item for item (process-mode results are metrics-only
+    snapshots, the :meth:`CoOptimizationResult.from_dict` flavor, since
+    results cross a process boundary).
+
+    A config whose pipeline raises does not abort the batch: its slot in
+    the returned list carries a :class:`BatchItemError` (index, config,
+    stringified error) while completed siblings keep their results.
+
+    Results are returned in input order.
 
     Args:
         configs: pipeline configurations to run.
-        workers: thread count; defaults to ``min(len(configs), cpu_count)``.
+        executor: ``"serial"``, ``"thread"`` (default), or ``"process"``
+            (the latter needs a picklable ``pipeline_factory``).
+        workers: pool width; ``None``/``"auto"`` = CPU count.
         pipeline_factory: builds the pipeline for one config; defaults to
             the standard ``Pipeline(config)`` (pass a custom factory to
             append stages, e.g. ``Energy`` for VQE sweeps).
     """
+    from repro.sim.trajectory import check_executor, resolve_workers
+
+    check_executor(executor)
     configs = list(configs)
     if not configs:
         return []
     factory = pipeline_factory or Pipeline
+    count = resolve_workers(workers, len(configs))
+
+    if executor == "serial" or count == 1 or len(configs) == 1:
+        return [
+            _run_batch_item(index, config, factory)
+            for index, config in enumerate(configs)
+        ]
+
+    if executor == "process":
+        return _run_batch_process(configs, factory, count)
 
     unique_problems: dict[tuple[str, float | None], PipelineConfig] = {}
     for config in configs:
         unique_problems.setdefault((config.molecule, config.bond_length), config)
 
-    if workers is None:
-        workers = min(len(configs), os.cpu_count() or 1)
-    workers = max(1, workers)
+    def _warm(config: PipelineConfig) -> None:
+        # Warm the per-problem Hamiltonian cache without duplicate work;
+        # best-effort -- a bad config fails in its own run, where the
+        # error is recorded against the right item.
+        try:
+            build_molecule_hamiltonian(config.molecule, config.bond_length)
+        except Exception:  # noqa: BLE001
+            pass
 
-    if workers == 1:
-        return [factory(config).run() for config in configs]
-
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        # Warm the per-problem Hamiltonian cache without duplicate work.
-        list(
+    with ThreadPoolExecutor(max_workers=count) as pool:
+        list(pool.map(_warm, unique_problems.values()))
+        return list(
             pool.map(
-                lambda c: build_molecule_hamiltonian(c.molecule, c.bond_length),
-                unique_problems.values(),
+                lambda pair: _run_batch_item(pair[0], pair[1], factory),
+                enumerate(configs),
             )
         )
-        return list(pool.map(lambda c: factory(c).run(), configs))
 
 
 def save_batch(

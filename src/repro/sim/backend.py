@@ -1,0 +1,329 @@
+"""Array-API backend dispatch: one namespace object per tensor library.
+
+Every engine in :mod:`repro.sim` used to hardcode NumPy.  Following
+qibo's swappable-backend design, this module routes the tensor
+operations the hot paths actually use through one
+:class:`ArrayBackend` object -- an array namespace (``xp``), a dtype
+policy, a handful of performance-critical hooks (``asarray``,
+``einsum``, ``take``, ``axpy``), and capability flags the engines
+consult instead of assuming NumPy semantics.
+
+Backends register by name:
+
+* ``"numpy"`` -- the default, always available; its hooks are the exact
+  kernels the engines called before dispatch existed (``axpy`` is the
+  fused scipy BLAS ``zaxpy``/``daxpy``), so selecting it changes
+  nothing, byte for byte.
+* ``"cupy"`` / ``"torch"`` -- auto-registered **only when the library
+  imports**.  They advertise ``supports_real_orthogonal = False`` so
+  the float64 real-orthogonal sweep fast path (a NumPy/BLAS-specific
+  optimization, see :func:`repro.sim.batched.sweep_expectations`) is
+  skipped cleanly, and ``supports_inplace_kernels = False`` so gate
+  application falls back to the out-of-place tensor-contraction path,
+  which their namespaces execute natively (on GPU for CuPy / CUDA
+  torch).
+
+Select a backend with the ``backend=`` knob on the simulator classes
+(:class:`~repro.sim.statevector.StatevectorSimulator`,
+:class:`~repro.sim.batched.BatchedStatevector`,
+:class:`~repro.sim.trajectory.TrajectorySimulator`,
+:class:`~repro.sim.expectation.ExpectationEngine`) or the
+``array_backend=`` knob at the VQE/pipeline level
+(:class:`repro.vqe.runner.VQE`, :func:`repro.vqe.scan.bond_scan`,
+:class:`repro.core.passes.Energy`,
+:class:`repro.core.passes.PipelineConfig`) -- the latter name avoids
+colliding with the pre-existing *energy*-backend knob.  An unknown name
+raises a :class:`ValueError` listing what is actually registered in
+this process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+
+class ArrayBackend:
+    """One tensor library behind a uniform namespace + hook surface.
+
+    Subclasses set :attr:`xp` (the array namespace), the dtype policy,
+    and the capability flags, and override the hooks whose generic
+    implementation (written against the NumPy API) does not apply.
+    Instances are stateless and shared process-wide through the
+    registry; treat them as immutable.
+    """
+
+    #: Registry name (``backend.name`` round-trips through
+    #: :func:`get_array_backend`).
+    name: str = "abstract"
+
+    #: The array namespace (``numpy``, ``cupy``, ``torch``...).
+    xp: Any = None
+
+    #: Dtype policy: every statevector is ``complex_dtype``; the
+    #: real-orthogonal sweep (when supported) runs in ``float_dtype``.
+    complex_dtype: Any = None
+    float_dtype: Any = None
+
+    #: True when the backend can run the float64 real-orthogonal UCCSD
+    #: sweep fast path (odd-#Y programs evolve as real orthogonal
+    #: matrices; see ``docs/performance.md``).  NumPy-only today: the
+    #: path leans on fused BLAS DAXPY row updates.
+    supports_real_orthogonal: bool = False
+
+    #: True when the backend's arrays accept the in-place index-slice
+    #: gate kernels of :mod:`repro.sim.statevector` (C-contiguous
+    #: complex128 ndarray semantics).  Backends without it get the
+    #: out-of-place tensor-contraction gate path.
+    supports_inplace_kernels: bool = False
+
+    # ------------------------------------------------------------------
+    # Array creation / movement
+    # ------------------------------------------------------------------
+    def asarray(self, array: Any, dtype: Any = None) -> Any:
+        """Bring ``array`` onto this backend (no copy when already there)."""
+        return self.xp.asarray(array, dtype=dtype)
+
+    def to_numpy(self, array: Any) -> np.ndarray:
+        """Materialize a backend array as a host NumPy array."""
+        return np.asarray(array)
+
+    def zeros(self, shape: Sequence[int] | int, dtype: Any = None) -> Any:
+        return self.xp.zeros(shape, dtype=dtype or self.complex_dtype)
+
+    def empty_like(self, array: Any) -> Any:
+        return self.xp.empty_like(array)
+
+    def copyto(self, destination: Any, source: Any) -> None:
+        """``destination[...] = source`` without allocating."""
+        destination[...] = source
+
+    # ------------------------------------------------------------------
+    # Hot-path hooks
+    # ------------------------------------------------------------------
+    def einsum(self, subscripts: str, *operands: Any) -> Any:
+        return self.xp.einsum(subscripts, *operands)
+
+    def take(self, array: Any, indices: Any, axis: int) -> Any:
+        """Gather along ``axis`` (the XOR-permutation read)."""
+        return self.xp.take(array, indices, axis=axis)
+
+    def take_into(self, array: Any, indices: Any, out: Any) -> Any:
+        """Gather along the last axis into a preallocated buffer."""
+        out[...] = self.take(array, indices, axis=-1)
+        return out
+
+    def axpy(self, x: Any, y: Any, a: Any) -> Any:
+        """``y += a * x`` in place (BLAS argument order); returns ``y``."""
+        y += a * x
+        return y
+
+    def conjugate(self, array: Any) -> Any:
+        return self.xp.conjugate(array)
+
+    def matmul(self, a: Any, b: Any) -> Any:
+        return self.xp.matmul(a, b)
+
+    def tensordot(self, a: Any, b: Any, axes: Any) -> Any:
+        return self.xp.tensordot(a, b, axes=axes)
+
+    def moveaxis(self, array: Any, source: Any, destination: Any) -> Any:
+        return self.xp.moveaxis(array, source, destination)
+
+    def ascontiguous(self, array: Any) -> Any:
+        return self.xp.ascontiguousarray(array)
+
+    def real(self, array: Any) -> Any:
+        return array.real
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class NumpyBackend(ArrayBackend):
+    """The default backend: plain NumPy plus the fused scipy BLAS axpy.
+
+    Selecting it reproduces the pre-dispatch engines exactly -- every
+    hook is the call the hot paths made before the abstraction existed.
+    """
+
+    name = "numpy"
+    xp = np
+    complex_dtype = np.complex128
+    float_dtype = np.float64
+    supports_real_orthogonal = True
+    supports_inplace_kernels = True
+
+    def asarray(self, array: Any, dtype: Any = None) -> np.ndarray:
+        return np.asarray(array, dtype=dtype)
+
+    def to_numpy(self, array: Any) -> np.ndarray:
+        return np.asarray(array)
+
+    def take_into(self, array: np.ndarray, indices: np.ndarray, out: np.ndarray) -> np.ndarray:
+        np.take(array, indices, axis=-1, out=out)
+        return out
+
+    def axpy(self, x: np.ndarray, y: np.ndarray, a: Any) -> np.ndarray:
+        # Fused BLAS y += a*x: one pass over memory instead of the
+        # temporary + add of the generic expression.
+        from scipy.linalg.blas import daxpy, zaxpy
+
+        if y.dtype == np.float64:
+            daxpy(x, y, a=a)
+        else:
+            zaxpy(x, y, a=a)
+        return y
+
+
+class CupyBackend(ArrayBackend):
+    """CuPy (GPU) backend; registered only when ``cupy`` imports.
+
+    CuPy mirrors the NumPy API closely, so only array movement differs.
+    The real-orthogonal sweep stays off (it is a CPU-BLAS-shaped
+    optimization); complex GEMM/gather throughput is what a GPU is for.
+    """
+
+    name = "cupy"
+    supports_real_orthogonal = False
+    supports_inplace_kernels = False
+
+    def __init__(self, cupy_module: Any) -> None:
+        self.xp = cupy_module
+        self.complex_dtype = cupy_module.complex128
+        self.float_dtype = cupy_module.float64
+
+    def to_numpy(self, array: Any) -> np.ndarray:
+        return self.xp.asnumpy(array)
+
+    def take_into(self, array: Any, indices: Any, out: Any) -> Any:
+        self.xp.take(array, indices, axis=-1, out=out)
+        return out
+
+
+class TorchBackend(ArrayBackend):
+    """PyTorch backend; registered only when ``torch`` imports.
+
+    Runs on CPU by default (pass ``device=`` for CUDA).  Hooks bridge
+    the API gaps: ``take`` maps to ``index_select``, contiguity to
+    ``.contiguous()``, and host round-trips detach before converting.
+    """
+
+    name = "torch"
+    supports_real_orthogonal = False
+    supports_inplace_kernels = False
+
+    def __init__(self, torch_module: Any, device: str = "cpu") -> None:
+        self.xp = torch_module
+        self.device = device
+        self.complex_dtype = torch_module.complex128
+        self.float_dtype = torch_module.float64
+
+    def asarray(self, array: Any, dtype: Any = None) -> Any:
+        torch = self.xp
+        if isinstance(array, torch.Tensor):
+            return array.to(dtype=dtype, device=self.device) if dtype else array
+        return torch.as_tensor(
+            np.asarray(array), dtype=dtype, device=self.device
+        )
+
+    def to_numpy(self, array: Any) -> np.ndarray:
+        if isinstance(array, self.xp.Tensor):
+            return array.detach().cpu().numpy()
+        return np.asarray(array)
+
+    def zeros(self, shape: Sequence[int] | int, dtype: Any = None) -> Any:
+        if isinstance(shape, int):
+            shape = (shape,)
+        return self.xp.zeros(
+            tuple(shape), dtype=dtype or self.complex_dtype, device=self.device
+        )
+
+    def copyto(self, destination: Any, source: Any) -> None:
+        destination.copy_(source)
+
+    def take(self, array: Any, indices: Any, axis: int) -> Any:
+        return self.xp.index_select(
+            array, axis, self.asarray(indices, dtype=self.xp.long)
+        )
+
+    def take_into(self, array: Any, indices: Any, out: Any) -> Any:
+        out.copy_(self.take(array, indices, axis=-1))
+        return out
+
+    def tensordot(self, a: Any, b: Any, axes: Any) -> Any:
+        return self.xp.tensordot(a, b, dims=axes)
+
+    def moveaxis(self, array: Any, source: Any, destination: Any) -> Any:
+        return self.xp.movedim(array, source, destination)
+
+    def ascontiguous(self, array: Any) -> Any:
+        return array.contiguous()
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_ARRAY_BACKENDS: dict[str, ArrayBackend] = {}
+
+
+def register_array_backend(
+    backend: ArrayBackend, *, overwrite: bool = False
+) -> None:
+    """Register ``backend`` under ``backend.name``."""
+    if backend.name in _ARRAY_BACKENDS and not overwrite:
+        raise ValueError(f"array backend {backend.name!r} already registered")
+    _ARRAY_BACKENDS[backend.name] = backend
+
+
+def available_array_backends() -> list[str]:
+    """Names of the backends importable in this process, sorted."""
+    return sorted(_ARRAY_BACKENDS)
+
+
+def get_array_backend(backend: "str | ArrayBackend | None") -> ArrayBackend:
+    """Resolve a ``backend=`` knob into an :class:`ArrayBackend`.
+
+    Accepts a registered name, an :class:`ArrayBackend` instance
+    (returned as-is), or ``None`` (the NumPy default).  An unknown name
+    raises a :class:`ValueError` that lists the backends actually
+    available here, so ``backend="cupy"`` on a box without CuPy fails
+    with the fix in the message instead of an ImportError five frames
+    deep.
+    """
+    if backend is None:
+        return _ARRAY_BACKENDS["numpy"]
+    if isinstance(backend, ArrayBackend):
+        return backend
+    try:
+        return _ARRAY_BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown array backend {backend!r}; available backends: "
+            f"{', '.join(available_array_backends())} "
+            "(cupy/torch register automatically when importable)"
+        ) from None
+
+
+def _register_optional_backends() -> None:
+    """Auto-register CuPy/torch when (and only when) they import."""
+    try:  # pragma: no cover - exercised only where cupy is installed
+        import cupy  # type: ignore[import-not-found]
+
+        register_array_backend(CupyBackend(cupy))
+    except Exception:  # noqa: BLE001 - any import failure means "absent"
+        pass
+    try:  # pragma: no cover - exercised only where torch is installed
+        import torch  # type: ignore[import-not-found]
+
+        register_array_backend(TorchBackend(torch))
+    except Exception:  # noqa: BLE001
+        pass
+
+
+register_array_backend(NumpyBackend())
+_register_optional_backends()
+
+#: The always-available default backend instance.
+NUMPY_BACKEND: ArrayBackend = get_array_backend("numpy")

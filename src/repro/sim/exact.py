@@ -8,13 +8,24 @@ evaluator), falling back to dense diagonalization for tiny systems.
 
 from __future__ import annotations
 
-import numpy as np
+import numpy as np  # lint: ignore[RR006] - host-side sparse Lanczos reference solver
 from scipy.sparse.linalg import LinearOperator, eigsh
 
 from repro.pauli import PauliSum
 from repro.sim.expectation import ExpectationEngine
 
 _DENSE_QUBIT_LIMIT = 6
+
+#: Fixed seed of the Lanczos starting vector.  ``eigsh`` defaults to a
+#: *random* ``v0``, which makes the last float bits of the reference
+#: energy run-to-run (and process-to-process) dependent -- poison for
+#: the executor-determinism guarantees of ``bond_scan``/``run_batch``.
+_LANCZOS_V0_SEED = 97
+
+
+def _lanczos_v0(dim: int) -> np.ndarray:
+    """A deterministic dense starting vector for ``eigsh``."""
+    return np.random.default_rng(_LANCZOS_V0_SEED).standard_normal(dim)
 
 
 def ground_state_energy(hamiltonian: PauliSum, *, k: int = 1) -> float:
@@ -23,7 +34,11 @@ def ground_state_energy(hamiltonian: PauliSum, *, k: int = 1) -> float:
 
 
 def ground_state(hamiltonian: PauliSum, *, k: int = 1) -> tuple[float, np.ndarray]:
-    """Lowest eigenvalue and eigenvector of the Hamiltonian."""
+    """Lowest eigenvalue and eigenvector of the Hamiltonian.
+
+    Deterministic: the dense path exactly so, the Lanczos path through a
+    fixed seeded starting vector (identical results in every process).
+    """
     n = hamiltonian.num_qubits
     dim = 1 << n
     if n <= _DENSE_QUBIT_LIMIT:
@@ -37,7 +52,7 @@ def ground_state(hamiltonian: PauliSum, *, k: int = 1) -> tuple[float, np.ndarra
         return engine.apply(vector.astype(complex))
 
     operator = LinearOperator((dim, dim), matvec=matvec, dtype=complex)
-    values, vectors = eigsh(operator, k=max(k, 1), which="SA")
+    values, vectors = eigsh(operator, k=max(k, 1), which="SA", v0=_lanczos_v0(dim))
     order = np.argsort(values)
     return float(values[order[0]]), vectors[:, order[0]]
 
@@ -48,8 +63,9 @@ def spectrum(hamiltonian: PauliSum, k: int = 4) -> np.ndarray:
     if n <= _DENSE_QUBIT_LIMIT:
         return np.sort(np.linalg.eigvalsh(hamiltonian.to_matrix()))[:k]
     engine = ExpectationEngine(hamiltonian)
+    dim = 1 << n
     operator = LinearOperator(
-        (1 << n, 1 << n), matvec=lambda v: engine.apply(v.astype(complex)), dtype=complex
+        (dim, dim), matvec=lambda v: engine.apply(v.astype(complex)), dtype=complex
     )
-    values, _ = eigsh(operator, k=k, which="SA")
+    values, _ = eigsh(operator, k=k, which="SA", v0=_lanczos_v0(dim))
     return np.sort(values)

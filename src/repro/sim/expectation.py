@@ -30,9 +30,12 @@ array([1., 1.])
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Any, Sequence
+
+import numpy as np  # lint: ignore[RR006] - diagonal construction is host-side
 
 from repro.pauli import PauliSum
+from repro.sim.backend import ArrayBackend, get_array_backend
 from repro.sim.pauli_evolution import cached_xor_indices, parity_signs
 
 
@@ -57,7 +60,14 @@ class ExpectationEngine:
     is O(#terms * 2^n) once, evaluation is O(#groups * 2^n) per state.
     """
 
-    def __init__(self, observable: PauliSum, max_bytes: int = 1 << 30):
+    def __init__(
+        self,
+        observable: PauliSum,
+        max_bytes: int = 1 << 30,
+        *,
+        backend: str | ArrayBackend | None = None,
+    ):
+        self.backend = get_array_backend(backend)
         self.num_qubits = observable.num_qubits
         self.num_terms = len(observable)
         dim = 1 << self.num_qubits
@@ -73,7 +83,7 @@ class ExpectationEngine:
             )
 
         self._x_masks: list[int] = []
-        self._diagonals: list[np.ndarray] = []
+        diagonals: list[np.ndarray] = []
         for x, zs in sorted(groups.items()):
             diagonal = np.zeros(dim, dtype=complex)
             for z, coefficient in zs:
@@ -81,66 +91,130 @@ class ExpectationEngine:
                 phase = (1j) ** (y_count % 4)
                 diagonal += coefficient * phase * parity_signs(self.num_qubits, z)
             self._x_masks.append(x)
-            self._diagonals.append(diagonal)
+            diagonals.append(diagonal)
+        # Diagonals are always *built* host-side (numpy), then moved onto
+        # the selected backend once; with the numpy backend this is a
+        # no-op view and nothing changes.
+        self._diagonals = [
+            self.backend.asarray(d, dtype=self.backend.complex_dtype)
+            for d in diagonals
+        ]
 
         #: Real parts of the grouped diagonals, built lazily on the first
         #: real-arithmetic evaluation (see :meth:`values_real`).
-        self._real_diagonals: list[np.ndarray] | None = None
+        self._real_diagonals: list[Any] | None = None
+
+    @classmethod
+    def from_arrays(
+        cls,
+        num_qubits: int,
+        x_masks: Sequence[int],
+        diagonals: Any,
+        *,
+        num_terms: int = 0,
+        backend: str | ArrayBackend | None = None,
+    ) -> "ExpectationEngine":
+        """Rebuild an engine from exported tables without a PauliSum.
+
+        The zero-copy path of the process-pool executors: a worker maps
+        the ``(G, 2**n)`` diagonal stack and G-vector of X masks exported
+        by :meth:`export_tables` out of shared memory and wires them
+        straight in, skipping both pickling and reconstruction.
+        """
+        engine = cls.__new__(cls)
+        engine.backend = get_array_backend(backend)
+        engine.num_qubits = int(num_qubits)
+        engine.num_terms = int(num_terms)
+        engine._x_masks = [int(x) for x in x_masks]
+        engine._diagonals = [
+            engine.backend.asarray(d, dtype=engine.backend.complex_dtype)
+            for d in diagonals
+        ]
+        engine._real_diagonals = None
+        return engine
+
+    def export_tables(self) -> dict[str, np.ndarray]:
+        """Flat numpy tables for :meth:`from_arrays` (shared-memory safe).
+
+        ``x_masks`` is ``(G,)`` uint64 and ``diagonals`` is ``(G, 2**n)``
+        complex128 -- contiguous arrays a :class:`repro.core.shm.SharedSlabs`
+        segment can hold directly.
+        """
+        return {
+            "x_masks": np.asarray(self._x_masks, dtype=np.uint64),
+            "diagonals": np.stack(
+                [self.backend.to_numpy(d) for d in self._diagonals]
+            ),
+        }
 
     @property
     def num_groups(self) -> int:
         return len(self._x_masks)
 
-    def apply(self, state: np.ndarray) -> np.ndarray:
+    def apply(self, state: Any) -> Any:
         """Return ``H |state>`` (used by the exact eigensolver)."""
-        result = np.zeros_like(state, dtype=complex)
+        backend = self.backend
+        state = backend.asarray(state, dtype=backend.complex_dtype)
+        result = backend.zeros(state.shape, dtype=state.dtype)
         for x, diagonal in zip(self._x_masks, self._diagonals):
             term = diagonal * state
             if x:
-                term = term[cached_xor_indices(self.num_qubits, x)]
-            result += term
+                term = backend.take(
+                    term, cached_xor_indices(self.num_qubits, x), axis=-1
+                )
+            result = backend.axpy(term, result, 1.0)
         return result
 
-    def value(self, state: np.ndarray) -> float:
+    def value(self, state: Any) -> float:
         """Return ``<state|H|state>`` (real part)."""
+        backend = self.backend
+        state = backend.asarray(state, dtype=backend.complex_dtype)
         total = 0.0 + 0.0j
-        conj = np.conjugate(state)
+        conj = backend.conjugate(state)
         for x, diagonal in zip(self._x_masks, self._diagonals):
             term = diagonal * state
             if x:
-                term = term[cached_xor_indices(self.num_qubits, x)]
-            total += np.dot(conj, term)
+                term = backend.take(
+                    term, cached_xor_indices(self.num_qubits, x), axis=-1
+                )
+            total += complex(backend.to_numpy(backend.einsum("d,d->", conj, term)))
         return float(total.real)
 
     def _batched_quadratic(
-        self, states: np.ndarray, conj: np.ndarray, diagonals: list[np.ndarray]
-    ) -> np.ndarray:
+        self, states: Any, conj: Any, diagonals: list[Any]
+    ) -> Any:
         """``sum_x <conj_k| perm_x (D_x states_k)>`` per row ``k``."""
+        backend = self.backend
         if states.ndim != 2 or states.shape[1] != (1 << self.num_qubits):
             raise ValueError(
                 f"states must have shape (K, {1 << self.num_qubits}), "
-                f"got {states.shape}"
+                f"got {tuple(states.shape)}"
             )
-        totals = np.zeros(states.shape[0], dtype=states.dtype)
+        totals = backend.zeros(states.shape[0], dtype=states.dtype)
         for x, diagonal in zip(self._x_masks, diagonals):
             term = diagonal * states
             if x:
-                term = term[:, cached_xor_indices(self.num_qubits, x)]
-            totals += np.einsum("kd,kd->k", conj, term)
+                term = backend.take(
+                    term, cached_xor_indices(self.num_qubits, x), axis=-1
+                )
+            totals = backend.axpy(backend.einsum("kd,kd->k", conj, term), totals, 1.0)
         return totals
 
-    def values(self, states: np.ndarray) -> np.ndarray:
+    def values(self, states: Any) -> np.ndarray:
         """Batched ``<state|H|state>`` over a ``(K, 2**n)`` stack.
 
         One vectorized pass per X-mask group, shared across all K rows;
-        the workhorse of the batched parameter-sweep engine.
+        the workhorse of the batched parameter-sweep engine.  Accepts
+        host or backend arrays; always returns a host numpy result.
         """
-        states = np.asarray(states, dtype=complex)
-        return self._batched_quadratic(
-            states, np.conjugate(states), self._diagonals
-        ).real
+        backend = self.backend
+        states = backend.asarray(states, dtype=backend.complex_dtype)
+        totals = self._batched_quadratic(
+            states, backend.conjugate(states), self._diagonals
+        )
+        return backend.to_numpy(backend.real(totals))
 
-    def values_real(self, states: np.ndarray) -> np.ndarray:
+    def values_real(self, states: Any) -> np.ndarray:
         """Batched expectations of *real* float64 states, shape ``(K,)``.
 
         Each per-X-mask group operator is Hermitian, so for real states
@@ -149,7 +223,12 @@ class ExpectationEngine:
         whole evaluation stays in float arithmetic (used by the real
         fast path of :func:`repro.sim.batched.sweep_expectations`).
         """
-        states = np.asarray(states, dtype=float)
+        backend = self.backend
+        states = backend.asarray(states, dtype=backend.float_dtype)
         if self._real_diagonals is None:
-            self._real_diagonals = [d.real.copy() for d in self._diagonals]
-        return self._batched_quadratic(states, states, self._real_diagonals)
+            self._real_diagonals = [
+                backend.ascontiguous(backend.real(d)) for d in self._diagonals
+            ]
+        return backend.to_numpy(
+            self._batched_quadratic(states, states, self._real_diagonals)
+        )

@@ -29,16 +29,47 @@ bounded by the block, not by K.
 from __future__ import annotations
 
 import math
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import Any
 
-import numpy as np
+import numpy as np  # lint: ignore[RR006] - host-side sampling and reductions
 
 from repro.circuit import Circuit
 from repro.pauli import PauliString, PauliSum
+from repro.sim.backend import ArrayBackend, get_array_backend
 from repro.sim.batched import BatchedStatevector
 from repro.sim.expectation import ExpectationEngine
 from repro.sim.noise import DepolarizingNoiseModel, depolarizing_paulis
 from repro.sim.pauli_evolution import cached_parity_signs, cached_xor_indices
+
+#: Valid values of the ``executor=`` knob of the streaming helpers (and
+#: of :func:`repro.core.pipeline.run_batch`).
+EXECUTORS = ("serial", "thread", "process")
+
+
+def check_executor(executor: str) -> str:
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; valid executors: "
+            f"{', '.join(EXECUTORS)}"
+        )
+    return executor
+
+
+def resolve_workers(workers: "int | str | None", tasks: int) -> int:
+    """Resolve the ``workers=`` knob: ``"auto"``/``None`` -> CPU count.
+
+    Never more workers than tasks; always at least 1.
+    """
+    if workers in (None, "auto"):
+        count = os.cpu_count() or 1
+    else:
+        count = int(workers)  # type: ignore[arg-type]
+        if count < 1:
+            raise ValueError("workers must be at least 1")
+    return max(1, min(count, tasks))
 
 #: Trajectories evolved per block by the streaming helpers.  One block
 #: keeps ``block x 2**n`` amplitudes resident (64 rows at 14 qubits is
@@ -71,7 +102,12 @@ def channel_paulis(num_qubits: int, qubits: tuple[int, ...]) -> list[PauliString
     return cached
 
 
-def _apply_pauli_rows(states: np.ndarray, pauli: PauliString, rows: np.ndarray) -> None:
+def _apply_pauli_rows(
+    states: Any,
+    pauli: PauliString,
+    rows: np.ndarray,
+    backend: ArrayBackend | None = None,
+) -> None:
     """Apply ``P`` to the selected rows of a ``(K, 2**n)`` stack.
 
     Same signed-permutation identity as
@@ -79,14 +115,17 @@ def _apply_pauli_rows(states: np.ndarray, pauli: PauliString, rows: np.ndarray) 
     that actually drew this error (at realistic error rates almost all
     rows draw none, so the common case touches a handful of rows).
     """
+    backend = get_array_backend(backend)
     n = pauli.num_qubits
     sub = states[rows]
-    sub *= cached_parity_signs(n, pauli.z)
+    sub = sub * backend.asarray(
+        cached_parity_signs(n, pauli.z), dtype=backend.float_dtype
+    )
     if pauli.x:
-        sub = sub[:, cached_xor_indices(n, pauli.x)]
+        sub = backend.take(sub, cached_xor_indices(n, pauli.x), axis=-1)
     phase = (1j) ** (pauli.y_count() % 4)
     if phase != 1.0:
-        sub *= phase
+        sub = sub * phase
     states[rows] = sub
 
 
@@ -109,13 +148,15 @@ class TrajectorySimulator:
         trajectories: int = DEFAULT_BLOCK_SIZE,
         seed: int | None = None,
         rng: np.random.Generator | None = None,
+        backend: str | ArrayBackend | None = None,
     ):
         if trajectories < 1:
             raise ValueError("trajectories must be at least 1")
         self.num_qubits = num_qubits
         self.noise = noise or DepolarizingNoiseModel(two_qubit_error=0.0)
         self.trajectories = trajectories
-        self.batch = BatchedStatevector(num_qubits, trajectories)
+        self.backend = get_array_backend(backend)
+        self.batch = BatchedStatevector(num_qubits, trajectories, backend=self.backend)
         self._rng = rng if rng is not None else np.random.default_rng(seed)
         #: Total error Paulis injected across all trajectories by ``run``
         #: calls since construction/reset (diagnostic: expected value is
@@ -132,7 +173,10 @@ class TrajectorySimulator:
         if state is None:
             self.batch.reset()
         else:
-            self.batch.states[...] = np.asarray(state, dtype=complex)
+            self.backend.copyto(
+                self.batch.states,
+                self.backend.asarray(state, dtype=self.backend.complex_dtype),
+            )
         self.error_events = 0
         return self
 
@@ -166,7 +210,12 @@ class TrajectorySimulator:
         choices = self._rng.integers(len(paulis), size=hits.size)
         self.error_events += int(hits.size)
         for index in np.unique(choices):
-            _apply_pauli_rows(self.batch.states, paulis[index], hits[choices == index])
+            _apply_pauli_rows(
+                self.batch.states,
+                paulis[index],
+                hits[choices == index],
+                self.backend,
+            )
 
     # ------------------------------------------------------------------
     # Readout
@@ -195,10 +244,90 @@ class TrajectoryEstimate:
         return abs(self.value - reference) <= sigmas * self.standard_error
 
 
-def _as_engine(observable: ExpectationEngine | PauliSum) -> ExpectationEngine:
+def _as_engine(
+    observable: ExpectationEngine | PauliSum,
+    backend: "str | ArrayBackend | None" = None,
+) -> ExpectationEngine:
     if isinstance(observable, ExpectationEngine):
         return observable
-    return ExpectationEngine(observable)
+    return ExpectationEngine(observable, backend=backend)
+
+
+def _block_plan(trajectories: int, block_size: int) -> list[int]:
+    """Block sizes covering ``trajectories`` (all ``block_size`` but the tail)."""
+    if trajectories < 1:
+        raise ValueError("trajectories must be at least 1")
+    if block_size < 1:
+        raise ValueError("block_size must be at least 1")
+    full, tail = divmod(trajectories, block_size)
+    return [block_size] * full + ([tail] if tail else [])
+
+
+def _spawn_block_seeds(seed, count: int) -> list[np.random.SeedSequence]:
+    """One independent child :class:`~numpy.random.SeedSequence` per block.
+
+    Spawning (instead of streaming one generator through the blocks in
+    order) is what makes every block's randomness independent of which
+    executor runs it and of how blocks are distributed over workers:
+    block ``i`` always draws from child ``i`` of the same root, so
+    serial, threaded, and process runs are bit-identical given
+    ``(seed, trajectories, block_size)``.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        root = seed
+    else:
+        root = np.random.SeedSequence(seed)
+    return root.spawn(count)
+
+
+def _run_one_block(
+    circuit: Circuit,
+    engine: ExpectationEngine,
+    noise: DepolarizingNoiseModel | None,
+    block: int,
+    seed: np.random.SeedSequence,
+    initial_state: np.ndarray | None,
+    backend: "str | ArrayBackend | None" = None,
+) -> tuple[np.ndarray, int]:
+    """Evolve one trajectory block; returns (values, error events)."""
+    simulator = TrajectorySimulator(
+        circuit.num_qubits,
+        noise,
+        trajectories=block,
+        rng=np.random.default_rng(seed),
+        backend=backend,
+    )
+    if initial_state is not None:
+        simulator.reset(initial_state)
+    simulator.run(circuit)
+    return engine.values(simulator.states), simulator.error_events
+
+
+def _trajectory_block_worker(
+    payload: tuple,
+) -> tuple[np.ndarray, int]:
+    """Process-pool task: map the shared tables, evolve one block.
+
+    The observable's grouped diagonals (the only big constant of the
+    computation -- ``(G, 2**n)`` complex128) and the optional initial
+    state arrive as a :class:`repro.core.shm.SharedSlabs` handle, so
+    every worker maps one shared copy instead of unpickling its own.
+    """
+    (circuit, noise, block, seed, handle, num_qubits, num_terms, has_initial) = payload
+    from repro.core.shm import SharedSlabs
+
+    slabs = SharedSlabs.attach(handle)
+    try:
+        engine = ExpectationEngine.from_arrays(
+            num_qubits,
+            slabs["x_masks"],
+            slabs["diagonals"],
+            num_terms=num_terms,
+        )
+        initial = slabs["initial_state"] if has_initial else None
+        return _run_one_block(circuit, engine, noise, block, seed, initial)
+    finally:
+        slabs.close()
 
 
 def _run_blocks(
@@ -209,25 +338,82 @@ def _run_blocks(
     seed,
     block_size: int,
     initial_state: np.ndarray | None,
+    *,
+    executor: str = "serial",
+    workers: "int | str | None" = None,
+    backend: "str | ArrayBackend | None" = None,
 ) -> tuple[np.ndarray, int]:
-    """Stream trajectories through cache-sized blocks; values + events."""
-    if trajectories < 1:
-        raise ValueError("trajectories must be at least 1")
-    rng = np.random.default_rng(seed)
+    """Stream trajectories through cache-sized blocks; values + events.
+
+    Block ``i`` always draws from child ``i`` of one
+    :class:`~numpy.random.SeedSequence` root (see
+    :func:`_spawn_block_seeds`), so all executors and worker counts
+    produce bit-identical results for the same
+    ``(seed, trajectories, block_size)``.
+    """
+    check_executor(executor)
+    resolved = get_array_backend(backend)
+    if executor == "process" and resolved.name != "numpy":
+        # Checked before the small-workload serial fallback so the
+        # combination fails the same way regardless of block count.
+        raise ValueError(
+            "executor='process' shares tables through host shared "
+            f"memory and requires the numpy backend, not {resolved.name!r}"
+        )
+    sizes = _block_plan(trajectories, block_size)
+    seeds = _spawn_block_seeds(seed, len(sizes))
+    count = resolve_workers(workers, len(sizes))
     values = np.empty(trajectories)
     events = 0
-    done = 0
-    while done < trajectories:
-        block = min(block_size, trajectories - done)
-        simulator = TrajectorySimulator(
-            circuit.num_qubits, noise, trajectories=block, rng=rng
+
+    def _store(results) -> None:
+        nonlocal events
+        done = 0
+        for (block_values, block_events), block in zip(results, sizes):
+            values[done:done + block] = block_values
+            events += block_events
+            done += block
+
+    if executor == "serial" or count == 1 or len(sizes) == 1:
+        _store(
+            _run_one_block(
+                circuit, engine, noise, block, block_seed, initial_state, resolved
+            )
+            for block, block_seed in zip(sizes, seeds)
         )
+    elif executor == "thread":
+        with ThreadPoolExecutor(max_workers=count) as pool:
+            _store(
+                pool.map(
+                    lambda pair: _run_one_block(
+                        circuit, engine, noise, pair[0], pair[1],
+                        initial_state, resolved,
+                    ),
+                    zip(sizes, seeds),
+                )
+            )
+    else:
+        from repro.core.shm import SharedSlabs
+
+        tables = engine.export_tables()
         if initial_state is not None:
-            simulator.reset(initial_state)
-        simulator.run(circuit)
-        values[done:done + block] = engine.values(simulator.states)
-        events += simulator.error_events
-        done += block
+            tables["initial_state"] = np.ascontiguousarray(
+                np.asarray(initial_state, dtype=complex)
+            )
+        slabs = SharedSlabs.create(tables)
+        try:
+            payloads = [
+                (
+                    circuit, noise, block, block_seed, slabs.handle,
+                    engine.num_qubits, engine.num_terms,
+                    initial_state is not None,
+                )
+                for block, block_seed in zip(sizes, seeds)
+            ]
+            with ProcessPoolExecutor(max_workers=count) as pool:
+                _store(pool.map(_trajectory_block_worker, payloads))
+        finally:
+            slabs.unlink()
     return values, events
 
 
@@ -240,17 +426,25 @@ def trajectory_expectations(
     seed=None,
     block_size: int = DEFAULT_BLOCK_SIZE,
     initial_state: np.ndarray | None = None,
+    executor: str = "serial",
+    workers: "int | str | None" = None,
+    backend: "str | ArrayBackend | None" = None,
 ) -> np.ndarray:
     """Per-trajectory expectations of a noisy circuit, shape ``(K,)``.
 
     ``seed`` accepts anything ``np.random.default_rng`` does (int,
-    ``SeedSequence``, ``None`` for fresh entropy).  One stream feeds
-    every block in order, so results are fully deterministic given
-    ``(seed, trajectories, block_size)``.
+    ``SeedSequence``, ``None`` for fresh entropy).  Each block draws
+    from its own spawned child of one ``SeedSequence`` root, so results
+    are fully deterministic given ``(seed, trajectories, block_size)``
+    -- and bit-identical across ``executor="serial" | "thread" |
+    "process"`` and any ``workers`` count.  ``executor="process"``
+    shares the observable's grouped diagonals with the workers through
+    :class:`repro.core.shm.SharedSlabs` (numpy backend only).
     """
     values, _ = _run_blocks(
-        circuit, _as_engine(observable), noise, trajectories, seed,
+        circuit, _as_engine(observable, backend), noise, trajectories, seed,
         block_size, initial_state,
+        executor=executor, workers=workers, backend=backend,
     )
     return values
 
@@ -264,17 +458,24 @@ def trajectory_estimate(
     seed=None,
     block_size: int = DEFAULT_BLOCK_SIZE,
     initial_state: np.ndarray | None = None,
+    executor: str = "serial",
+    workers: "int | str | None" = None,
+    backend: "str | ArrayBackend | None" = None,
 ) -> TrajectoryEstimate:
     """Trajectory-averaged expectation with its standard error.
 
     The mean is an unbiased estimate of the density-matrix expectation
     (see the module docstring); ``standard_error`` quantifies the
     remaining Monte-Carlo noise, so DM-vs-trajectory agreement checks
-    should compare within a few standard errors.
+    should compare within a few standard errors.  See
+    :func:`trajectory_expectations` for the ``executor``/``workers``/
+    ``backend`` scale-out knobs (results are bit-identical across
+    executors for a fixed seed).
     """
     values, events = _run_blocks(
-        circuit, _as_engine(observable), noise, trajectories, seed,
+        circuit, _as_engine(observable, backend), noise, trajectories, seed,
         block_size, initial_state,
+        executor=executor, workers=workers, backend=backend,
     )
     if trajectories > 1:
         standard_error = float(values.std(ddof=1) / math.sqrt(trajectories))

@@ -43,11 +43,13 @@ def _reject_noise(backend: str, noise: DepolarizingNoiseModel | None) -> None:
 
 
 def _statevector_backend(
-    program, hamiltonian, *, noise, shots_per_group, seed, engine, fusion, cache
+    program, hamiltonian, *, noise, shots_per_group, seed, engine, fusion, cache,
+    array_backend=None,
 ):
     _reject_noise("statevector", noise)
     return StatevectorEnergy(
-        program, hamiltonian, engine=engine, fusion=fusion, cache=cache
+        program, hamiltonian, engine=engine, fusion=fusion, cache=cache,
+        array_backend=array_backend,
     )
 
 
@@ -56,10 +58,12 @@ def _density_matrix_backend(program, hamiltonian, *, noise, shots_per_group, see
 
 
 def _trajectory_backend(
-    program, hamiltonian, *, noise, shots_per_group, seed, trajectories
+    program, hamiltonian, *, noise, shots_per_group, seed, trajectories,
+    array_backend=None, executor="serial", workers=None,
 ):
     return TrajectoryEnergy(
-        program, hamiltonian, noise, trajectories=trajectories, seed=seed
+        program, hamiltonian, noise, trajectories=trajectories, seed=seed,
+        array_backend=array_backend, executor=executor, workers=workers,
     )
 
 
@@ -92,13 +96,15 @@ def register_backend(
     The factory is called as ``factory(program, hamiltonian, noise=...,
     shots_per_group=..., seed=...)`` and must return a callable mapping
     a parameter vector to a float energy.  Factories that declare an
-    ``engine``, ``trajectories``, ``fusion``, or ``cache`` keyword (or
+    ``engine``, ``trajectories``, ``fusion``, ``cache``,
+    ``array_backend``, ``executor``, or ``workers`` keyword (or
     ``**kwargs``) additionally receive the simulation-engine name
     (:data:`repro.sim.statevector.ENGINES`), the trajectory count,
-    the gate-fusion level, and/or the compile-cache selector;
-    backends that don't use them may simply not declare them.  A factory
-    that cannot honor a non-trivial ``noise`` model must raise rather
-    than drop it silently.
+    the gate-fusion level, the compile-cache selector, the array-backend
+    name (:mod:`repro.sim.backend`), and/or the scale-out executor
+    knobs; backends that don't use them may simply not declare them.  A
+    factory that cannot honor a non-trivial ``noise`` model must raise
+    rather than drop it silently.
     """
     if name in ENERGY_BACKENDS and not overwrite:
         raise ValueError(f"backend {name!r} already registered")
@@ -162,6 +168,9 @@ class VQE:
         engine: str = "inplace",
         fusion: str = "2q",
         cache=True,
+        array_backend: str | None = None,
+        executor: str = "serial",
+        workers: int | str | None = None,
         gradient: str | None = None,
         noise: DepolarizingNoiseModel | None = None,
         shots_per_group: int = 4096,
@@ -171,9 +180,13 @@ class VQE:
         max_iterations: int = 200,
         tolerance: float = 1e-8,
     ):
+        from repro.sim.backend import get_array_backend
         from repro.sim.statevector import check_engine
+        from repro.sim.trajectory import check_executor
 
         check_engine(engine)
+        get_array_backend(array_backend)  # validate the name early
+        check_executor(executor)
         try:
             factory = ENERGY_BACKENDS[backend]
         except KeyError:
@@ -197,6 +210,9 @@ class VQE:
             ("trajectories", trajectories),
             ("fusion", fusion),
             ("cache", cache),
+            ("array_backend", array_backend),
+            ("executor", executor),
+            ("workers", workers),
         ):
             if knob in factory_params or accepts_kwargs:
                 factory_kwargs[knob] = value
@@ -224,6 +240,9 @@ class VQE:
         self.engine = engine
         self.fusion = fusion
         self.cache = cache
+        self.array_backend = array_backend
+        self.executor = executor
+        self.workers = workers
         self.program = program
         self.hamiltonian = hamiltonian
         self.method = method

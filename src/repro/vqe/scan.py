@@ -16,8 +16,9 @@ benchmark.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -28,6 +29,7 @@ from repro.core.ir import PauliProgram
 from repro.pauli import PauliSum
 from repro.sim.exact import ground_state_energy
 from repro.sim.noise import DepolarizingNoiseModel
+from repro.sim.trajectory import check_executor, resolve_workers
 from repro.vqe.runner import VQE
 
 
@@ -101,6 +103,57 @@ def sweep_energies(
     ).values(np.asarray(parameter_sets, dtype=float))
 
 
+#: Per-process memo of exact ground-state energies keyed by
+#: (molecule, bond length): one scan evaluates each bond point under
+#: several configurations, and the exact diagonalization is shared
+#: (process-pool workers each warm their own copy as tasks arrive).
+_EXACT_CACHE: dict[tuple[str, float | None], float] = {}
+
+
+def _scan_point_task(task: tuple[str, float, str, dict[str, Any]]) -> ScanPoint:
+    """Build and solve one (molecule, bond length, configuration) point.
+
+    Module-level (not a closure) so :func:`bond_scan` can hand it to a
+    ``ProcessPoolExecutor``; everything it needs travels in the task
+    tuple, and the heavyweight inputs (Hamiltonian, exact energy) are
+    rebuilt through per-process caches rather than pickled across.
+    """
+    molecule, bond_length, configuration, options = task
+    problem = build_molecule_hamiltonian(molecule, bond_length)
+    full_program = build_uccsd_program(problem).program
+    key = (molecule, bond_length)
+    if key not in _EXACT_CACHE:
+        _EXACT_CACHE[key] = ground_state_energy(problem.hamiltonian)
+    exact = _EXACT_CACHE[key]
+    program, label = _configure_program(
+        full_program, problem.hamiltonian, configuration, options["seed"]
+    )
+    vqe = VQE(
+        program,
+        problem.hamiltonian,
+        backend=options["backend"],
+        engine=options["engine"],
+        fusion=options["fusion"],
+        cache=options["cache"],
+        array_backend=options["array_backend"],
+        gradient=options["gradient"],
+        noise=options["noise"],
+        trajectories=options["trajectories"],
+        max_iterations=options["max_iterations"],
+    )
+    result = vqe.run()
+    return ScanPoint(
+        molecule=molecule,
+        bond_length=bond_length,
+        configuration=label,
+        energy=result.energy,
+        exact_energy=exact,
+        hf_energy=problem.hf_energy,
+        iterations=result.iterations,
+        num_parameters=program.num_parameters,
+    )
+
+
 def bond_scan(
     molecule: str,
     bond_lengths: list[float],
@@ -110,11 +163,14 @@ def bond_scan(
     engine: str = "inplace",
     fusion: str = "2q",
     cache=True,
+    array_backend: str | None = None,
     gradient: str | None = None,
     noise: DepolarizingNoiseModel | None = None,
     trajectories: int = 256,
     max_iterations: int = 200,
     seed: int = 23,
+    executor: str = "serial",
+    workers: int | str | None = None,
 ) -> list[ScanPoint]:
     """Run the VQE sweep the accuracy/convergence figures are built from.
 
@@ -124,39 +180,40 @@ def bond_scan(
     feeds the configuration randomization (``randNN%`` ansatz subsets).
     ``fusion``/``cache`` tune the ``engine="fused"`` gate-level path
     (and the cache also dedupes repeated scan points' compile work).
+
+    ``executor``/``workers`` fan the (bond length, configuration) grid
+    over a thread or process pool; every point is an independent
+    module-level task, so results are identical point for point across
+    ``executor="serial" | "thread" | "process"`` and any worker count
+    (each VQE run is deterministic given its knobs).  ``array_backend``
+    selects the tensor library for the energy evaluations
+    (:mod:`repro.sim.backend`).
     """
-    points: list[ScanPoint] = []
-    for bond_length in bond_lengths:
-        problem = build_molecule_hamiltonian(molecule, bond_length)
-        full_program = build_uccsd_program(problem).program
-        exact = ground_state_energy(problem.hamiltonian)
-        for configuration in configurations:
-            program, label = _configure_program(
-                full_program, problem.hamiltonian, configuration, seed
-            )
-            vqe = VQE(
-                program,
-                problem.hamiltonian,
-                backend=backend,
-                engine=engine,
-                fusion=fusion,
-                cache=cache,
-                gradient=gradient,
-                noise=noise,
-                trajectories=trajectories,
-                max_iterations=max_iterations,
-            )
-            result = vqe.run()
-            points.append(
-                ScanPoint(
-                    molecule=molecule,
-                    bond_length=bond_length,
-                    configuration=label,
-                    energy=result.energy,
-                    exact_energy=exact,
-                    hf_energy=problem.hf_energy,
-                    iterations=result.iterations,
-                    num_parameters=program.num_parameters,
-                )
-            )
-    return points
+    check_executor(executor)
+    options: dict[str, Any] = {
+        "backend": backend,
+        "engine": engine,
+        "fusion": fusion,
+        "cache": cache,
+        "array_backend": array_backend,
+        "gradient": gradient,
+        "noise": noise,
+        "trajectories": trajectories,
+        "max_iterations": max_iterations,
+        "seed": seed,
+    }
+    tasks = [
+        (molecule, bond_length, configuration, options)
+        for bond_length in bond_lengths
+        for configuration in configurations
+    ]
+    if not tasks:
+        return []
+    count = resolve_workers(workers, len(tasks))
+    if executor == "serial" or count == 1 or len(tasks) == 1:
+        return [_scan_point_task(task) for task in tasks]
+    if executor == "thread":
+        with ThreadPoolExecutor(max_workers=count) as pool:
+            return list(pool.map(_scan_point_task, tasks))
+    with ProcessPoolExecutor(max_workers=count) as pool:
+        return list(pool.map(_scan_point_task, tasks))

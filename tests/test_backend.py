@@ -1,0 +1,367 @@
+"""Array-backend dispatch, shared-memory slabs, and executor scale-out.
+
+Covers ISSUE-9: the :mod:`repro.sim.backend` registry and capability
+flags, the generic (non-inplace) engine paths against the NumPy
+reference, :mod:`repro.core.shm` slab round-trips, and the determinism
+guarantee -- seeded ``bond_scan`` / ``trajectory_estimate`` runs are
+bit-identical across ``executor="serial" | "thread" | "process"`` and
+any worker count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chem import build_molecule_hamiltonian
+from repro.circuit import Circuit
+from repro.circuit.gates import CNOT, H, RX, RZ
+from repro.core.shm import SharedSlabs
+from repro.pauli import PauliSum
+from repro.sim import StatevectorSimulator
+from repro.sim.backend import (
+    NUMPY_BACKEND,
+    ArrayBackend,
+    available_array_backends,
+    get_array_backend,
+    register_array_backend,
+)
+from repro.sim.batched import BatchedStatevector
+from repro.sim.expectation import ExpectationEngine
+from repro.sim.noise import DepolarizingNoiseModel
+from repro.sim.trajectory import (
+    check_executor,
+    resolve_workers,
+    trajectory_estimate,
+    trajectory_expectations,
+)
+
+
+class HostGenericBackend(ArrayBackend):
+    """NumPy math through the *generic* (capability-flag-off) paths.
+
+    Every engine that consults ``supports_inplace_kernels`` /
+    ``supports_real_orthogonal`` takes the out-of-place branch under
+    this backend -- the same branch CuPy/torch take -- while the math
+    stays host NumPy, so results must match the default bit for bit in
+    structure (and to float tolerance numerically).
+    """
+
+    name = "host-generic"
+    xp = np
+    complex_dtype = np.complex128
+    float_dtype = np.float64
+    supports_real_orthogonal = False
+    supports_inplace_kernels = False
+
+
+GENERIC = HostGenericBackend()
+
+
+def small_circuit(num_qubits: int = 3) -> Circuit:
+    return Circuit(
+        num_qubits,
+        [
+            H(0),
+            CNOT(0, 1),
+            RZ(0.37, 1),
+            CNOT(1, 2),
+            RX(0.21, 2),
+            CNOT(0, 2),
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_numpy_is_default_and_always_available(self):
+        assert "numpy" in available_array_backends()
+        assert get_array_backend(None) is get_array_backend("numpy")
+        assert get_array_backend(None).name == "numpy"
+
+    def test_instances_pass_through(self):
+        assert get_array_backend(GENERIC) is GENERIC
+        assert get_array_backend(NUMPY_BACKEND) is NUMPY_BACKEND
+
+    def test_unknown_name_lists_available_backends(self):
+        with pytest.raises(ValueError, match="numpy"):
+            get_array_backend("no-such-backend")
+        with pytest.raises(ValueError, match="available backends"):
+            get_array_backend("no-such-backend")
+
+    def test_duplicate_registration_rejected_without_overwrite(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_array_backend(type(NUMPY_BACKEND)())
+
+    def test_capability_flags(self):
+        numpy_backend = get_array_backend("numpy")
+        assert numpy_backend.supports_real_orthogonal
+        assert numpy_backend.supports_inplace_kernels
+        assert not GENERIC.supports_real_orthogonal
+        assert not GENERIC.supports_inplace_kernels
+
+
+# ----------------------------------------------------------------------
+# Generic paths vs. the NumPy reference
+# ----------------------------------------------------------------------
+class TestGenericBackendEquivalence:
+    def test_statevector_simulator_matches_numpy(self):
+        circuit = small_circuit()
+        reference = StatevectorSimulator(3).run(circuit)
+        generic = StatevectorSimulator(3, backend=GENERIC).run(circuit)
+        np.testing.assert_allclose(generic, reference, atol=1e-12)
+
+    def test_expectation_engine_matches_numpy(self):
+        observable = PauliSum.from_label_dict(
+            {"ZZI": 0.5, "XIX": 0.25, "IYY": -0.75, "III": 1.0}
+        )
+        state = StatevectorSimulator(3).run(small_circuit())
+        reference = ExpectationEngine(observable)
+        generic = ExpectationEngine(observable, backend=GENERIC)
+        assert generic.value(state) == pytest.approx(reference.value(state))
+        states = np.stack([state, np.roll(state, 1)])
+        np.testing.assert_allclose(
+            generic.values(states), reference.values(states), atol=1e-12
+        )
+
+    def test_batched_sweep_matches_numpy(self):
+        problem = build_molecule_hamiltonian("H2")
+        from repro.ansatz import build_uccsd_program
+        from repro.vqe.energy import StatevectorEnergy
+
+        program = build_uccsd_program(problem).program
+        rng = np.random.default_rng(3)
+        angles = rng.normal(0.0, 0.1, (4, program.num_parameters))
+        reference = StatevectorEnergy(
+            program, problem.hamiltonian, engine="batched"
+        ).values(angles)
+        generic = StatevectorEnergy(
+            program, problem.hamiltonian, engine="batched", array_backend=GENERIC
+        ).values(angles)
+        np.testing.assert_allclose(generic, reference, atol=1e-10)
+
+    def test_vqe_energy_matches_numpy(self):
+        problem = build_molecule_hamiltonian("H2")
+        from repro.ansatz import build_uccsd_program
+        from repro.vqe.energy import StatevectorEnergy
+
+        program = build_uccsd_program(problem).program
+        theta = np.full(program.num_parameters, 0.05)
+        reference = StatevectorEnergy(program, problem.hamiltonian)
+        generic = StatevectorEnergy(
+            program, problem.hamiltonian, engine="batched", array_backend=GENERIC
+        )
+        assert generic(theta) == pytest.approx(reference(theta), abs=1e-10)
+
+
+# ----------------------------------------------------------------------
+# Capability gating
+# ----------------------------------------------------------------------
+class TestCapabilityGating:
+    def test_fused_engine_requires_inplace_kernels(self):
+        with pytest.raises(ValueError, match="in-place kernel support"):
+            StatevectorSimulator(3, engine="fused", backend=GENERIC)
+
+    def test_statevector_energy_requires_batched_engine(self):
+        problem = build_molecule_hamiltonian("H2")
+        from repro.ansatz import build_uccsd_program
+        from repro.vqe.energy import StatevectorEnergy
+
+        program = build_uccsd_program(problem).program
+        with pytest.raises(ValueError, match="engine='batched'"):
+            StatevectorEnergy(
+                program,
+                problem.hamiltonian,
+                engine="inplace",
+                array_backend=GENERIC,
+            )
+
+    def test_process_executor_requires_numpy_backend(self):
+        observable = PauliSum.from_label_dict({"ZII": 1.0})
+        with pytest.raises(ValueError, match="numpy backend"):
+            trajectory_expectations(
+                small_circuit(),
+                observable,
+                trajectories=8,
+                seed=1,
+                executor="process",
+                workers=4,
+                backend=GENERIC,
+            )
+
+    def test_real_orthogonal_path_skipped_cleanly(self):
+        # The odd-#Y real sweep is numpy-only; a backend that opts out
+        # must still produce the same energies through the complex path.
+        batch = BatchedStatevector(2, 3, backend=GENERIC)
+        assert batch.states.dtype == np.complex128
+
+
+# ----------------------------------------------------------------------
+# Torch smoke (skipped wherever torch is absent)
+# ----------------------------------------------------------------------
+class TestTorchBackend:
+    def test_torch_statevector_matches_numpy(self):
+        pytest.importorskip("torch")
+        circuit = small_circuit()
+        reference = StatevectorSimulator(3).run(circuit)
+        simulator = StatevectorSimulator(3, backend="torch")
+        torch_state = simulator.run(circuit)
+        np.testing.assert_allclose(
+            simulator.backend.to_numpy(torch_state), reference, atol=1e-10
+        )
+
+    def test_torch_expectation_matches_numpy(self):
+        pytest.importorskip("torch")
+        observable = PauliSum.from_label_dict({"ZZI": 0.5, "XIX": 0.25})
+        state = StatevectorSimulator(3).run(small_circuit())
+        reference = ExpectationEngine(observable).value(state)
+        torch_value = ExpectationEngine(observable, backend="torch").value(state)
+        assert torch_value == pytest.approx(reference, abs=1e-10)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory slabs
+# ----------------------------------------------------------------------
+class TestSharedSlabs:
+    def test_create_attach_roundtrip(self):
+        arrays = {
+            "coeff": np.arange(6, dtype=np.complex128).reshape(2, 3),
+            "masks": np.array([1, 2, 3], dtype=np.uint64),
+        }
+        slabs = SharedSlabs.create(arrays)
+        try:
+            attached = SharedSlabs.attach(slabs.handle)
+            try:
+                np.testing.assert_array_equal(attached["coeff"], arrays["coeff"])
+                np.testing.assert_array_equal(attached["masks"], arrays["masks"])
+                assert set(attached) == {"coeff", "masks"}
+                assert len(attached) == 2
+                assert "coeff" in attached and "nope" not in attached
+            finally:
+                attached.close()
+        finally:
+            slabs.unlink()
+
+    def test_handle_is_small_and_picklable(self):
+        import pickle
+
+        slabs = SharedSlabs.create({"big": np.zeros(1 << 16)})
+        try:
+            payload = pickle.dumps(slabs.handle)
+            assert len(payload) < 1024  # the point: bytes stay in shm
+            restored = pickle.loads(payload)
+            assert restored.segment == slabs.handle.segment
+        finally:
+            slabs.unlink()
+
+    def test_views_invalid_after_close(self):
+        slabs = SharedSlabs.create({"x": np.ones(4)})
+        try:
+            slabs.close()
+            with pytest.raises(ValueError, match="closed"):
+                slabs["x"]
+        finally:
+            slabs.unlink()
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(ValueError, match="at least one array"):
+            SharedSlabs.create({})
+
+
+# ----------------------------------------------------------------------
+# Executor plumbing
+# ----------------------------------------------------------------------
+class TestExecutorPlumbing:
+    def test_check_executor_names_valid_choices(self):
+        for name in ("serial", "thread", "process"):
+            check_executor(name)
+        with pytest.raises(ValueError, match="serial"):
+            check_executor("fork-bomb")
+
+    def test_resolve_workers(self):
+        assert resolve_workers(4, 10) == 4
+        assert resolve_workers(8, 3) == 3  # capped at the task count
+        assert resolve_workers(None, 5) >= 1
+        assert resolve_workers("auto", 5) >= 1
+        with pytest.raises(ValueError, match="at least 1"):
+            resolve_workers(0, 5)
+
+
+# ----------------------------------------------------------------------
+# Determinism across executors (the ISSUE-9 acceptance guarantee)
+# ----------------------------------------------------------------------
+class TestExecutorDeterminism:
+    def trajectory_setup(self):
+        observable = PauliSum.from_label_dict(
+            {"ZZI": 0.5, "XIX": 0.25, "IYY": -0.75}
+        )
+        noise = DepolarizingNoiseModel(
+            one_qubit_error=5e-3, two_qubit_error=2e-2
+        )
+        return small_circuit(), observable, noise
+
+    def test_trajectory_estimate_bit_identical_across_executors(self):
+        circuit, observable, noise = self.trajectory_setup()
+
+        def run(executor, workers):
+            return trajectory_estimate(
+                circuit,
+                observable,
+                noise,
+                trajectories=64,
+                seed=11,
+                block_size=16,
+                executor=executor,
+                workers=workers,
+            )
+
+        reference = run("serial", None)
+        for executor, workers in (
+            ("serial", 1),
+            ("thread", 1),
+            ("thread", 4),
+            ("process", 1),
+            ("process", 4),
+        ):
+            candidate = run(executor, workers)
+            assert candidate.value == reference.value, (executor, workers)
+            assert candidate.standard_error == reference.standard_error
+            assert candidate.error_events == reference.error_events
+
+    def test_trajectory_expectations_bit_identical_per_trajectory(self):
+        circuit, observable, noise = self.trajectory_setup()
+
+        def run(executor, workers):
+            return trajectory_expectations(
+                circuit,
+                observable,
+                noise,
+                trajectories=48,
+                seed=5,
+                block_size=8,
+                executor=executor,
+                workers=workers,
+            )
+
+        reference = run("serial", None)
+        np.testing.assert_array_equal(run("thread", 4), reference)
+        np.testing.assert_array_equal(run("process", 4), reference)
+
+    def test_bond_scan_bit_identical_across_executors(self):
+        from repro.vqe.scan import bond_scan
+
+        def run(executor, workers):
+            return bond_scan(
+                "H2",
+                [0.7, 0.735],
+                ["full"],
+                max_iterations=20,
+                seed=23,
+                executor=executor,
+                workers=workers,
+            )
+
+        reference = run("serial", None)
+        assert run("thread", 4) == reference
+        assert run("process", 4) == reference
+        assert run("process", 1) == reference

@@ -15,6 +15,7 @@ from repro.compiler.registry import (
     list_compilers,
 )
 from repro.core import (
+    BatchItemError,
     CoOptimizationResult,
     Energy,
     Pipeline,
@@ -264,6 +265,38 @@ class TestRunBatch:
 
     def test_empty_batch(self):
         assert run_batch([]) == []
+
+    def test_executors_agree_item_for_item(self):
+        configs = [
+            PipelineConfig(molecule="H2", bond_length=b) for b in (0.7, 0.735)
+        ]
+        serial = run_batch(configs, executor="serial")
+        thread = run_batch(configs, executor="thread", workers=2)
+        process = run_batch(configs, executor="process", workers=2)
+        assert [r.to_dict() for r in serial] == [r.to_dict() for r in thread]
+        assert [r.to_dict() for r in serial] == [r.to_dict() for r in process]
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="serial"):
+            run_batch([PipelineConfig(molecule="H2")], executor="fork-bomb")
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_failed_item_aggregated_not_fatal(self, executor):
+        configs = [
+            PipelineConfig(molecule="H2", ratio=0.5),
+            PipelineConfig(molecule="NOT_A_MOLECULE"),
+            PipelineConfig(molecule="H2", ratio=1.0),
+        ]
+        results = run_batch(configs, executor=executor, workers=2)
+        assert len(results) == 3
+        assert isinstance(results[1], BatchItemError)
+        assert results[1].index == 1
+        assert results[1].config.molecule == "NOT_A_MOLECULE"
+        assert "NOT_A_MOLECULE" in str(results[1])
+        # completed siblings keep their results
+        assert not isinstance(results[0], BatchItemError)
+        assert not isinstance(results[2], BatchItemError)
+        assert results[0].original_cnots > 0
 
     def test_save_and_load_batch(self, tmp_path):
         configs = [PipelineConfig(molecule="H2", ratio=r) for r in (0.5, 1.0)]
