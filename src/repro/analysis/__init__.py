@@ -20,6 +20,13 @@ checks, fusion plans get coverage checks, and Pauli programs get IR
 sanity checks.  :func:`assert_clean` is the raising form the pipeline's
 ``validate=`` knob uses.  Custom invariants plug in through
 :func:`repro.analysis.diagnostics.register_check`.
+
+The same registry also hosts *source-level* checks: the
+:mod:`repro.analysis.static` subpackage models the whole ``src/repro``
+tree (call graph + per-function effect summaries) and dispatches the
+RR1xx concurrency-safety / determinism / backend-purity analyzers on
+:class:`~repro.analysis.static.ProjectModel` objects -- see
+``docs/analysis.md`` for the rule catalog.
 """
 
 from __future__ import annotations
@@ -50,6 +57,14 @@ from repro.analysis.circuit_checks import (
     PauliProgramCheck,
     QubitBoundsCheck,
     is_compiled_result,
+)
+from repro.analysis.static import (
+    BackendPurityCheck,
+    ConcurrencySafetyCheck,
+    DeterminismCheck,
+    ProjectModel,
+    analyze,
+    load_project,
 )
 
 
@@ -105,4 +120,10 @@ __all__ = [
     "DagCircuitConsistencyCheck",
     "FusionCoverageCheck",
     "PauliProgramCheck",
+    "ProjectModel",
+    "ConcurrencySafetyCheck",
+    "DeterminismCheck",
+    "BackendPurityCheck",
+    "analyze",
+    "load_project",
 ]

@@ -1,0 +1,180 @@
+"""Call-graph construction and transitive effect propagation.
+
+Resolution is *symbolic and conservative*: an edge is added only when
+the callee can be pinned to a function the model actually contains --
+
+* plain names: nested defs of the caller, then module functions, then
+  ``from``-imports into other modeled modules, then classes (a class
+  call resolves to its ``__init__``);
+* dotted names: ``mod.f`` through import aliases, ``self.m`` through
+  the owning class (and its bases in the same module), ``var.m``
+  through locally-instantiated variables (``var = ClassName(...)``).
+
+Calls through parameters, factories, or attributes the model cannot
+type stay unresolved, so reachability is an under-approximation: the
+race analyzer (RR101) reports only mutations it can actually chain to a
+submitted task, never guesses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.analysis.static.model import (
+    FunctionInfo,
+    GlobalWrite,
+    ModuleModel,
+    ProjectModel,
+)
+
+#: A node is one function: (repo-relative path, qualname).
+Node = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class ReachedWrite:
+    """A module-level mutation reachable from a call-graph root."""
+
+    rel: str  # module containing the mutation
+    write: GlobalWrite
+    chain: tuple[str, ...]  # qualnames from root to the writing function
+
+
+class CallGraph:
+    """Resolved call edges over a :class:`ProjectModel`."""
+
+    def __init__(self, project: ProjectModel):
+        self.project = project
+        self.edges: dict[Node, list[Node]] = {}
+        self._modules_by_dotted = {
+            model.module: model for model in project.modules.values()
+        }
+        for model in project.modules.values():
+            for info in model.functions.values():
+                node = (model.rel, info.qualname)
+                self.edges[node] = self._resolve_calls(model, info)
+
+    # -- resolution -----------------------------------------------------
+    def resolve(self, model: ModuleModel, info: FunctionInfo, callee: str) -> Node | None:
+        """Resolve one symbolic callee from ``info``'s scope, or None."""
+        if "." not in callee:
+            return self._resolve_name(model, info, callee)
+        head, rest = callee.split(".", 1)
+        if head == "self" and info.owner_class is not None and "." not in rest:
+            return self._resolve_method(model, info.owner_class, rest)
+        if "." not in rest:
+            class_symbol = info.instance_types.get(head)
+            if class_symbol is not None:
+                resolved = self._resolve_class(model, class_symbol)
+                if resolved is not None:
+                    class_rel, class_qualname = resolved
+                    return self._resolve_method_in(
+                        self.project.modules[class_rel], class_qualname, rest
+                    )
+        if head in model.imports:
+            target = self._modules_by_dotted.get(model.imports[head])
+            if target is not None and "." not in rest:
+                return self._resolve_name(target, None, rest)
+        return None
+
+    def _resolve_name(
+        self,
+        model: ModuleModel,
+        info: FunctionInfo | None,
+        name: str,
+        _visited: frozenset[tuple[str, str]] = frozenset(),
+    ) -> Node | None:
+        if (model.rel, name) in _visited:
+            return None  # circular re-export
+        _visited = _visited | {(model.rel, name)}
+        if info is not None:
+            nested = f"{info.qualname}.<locals>.{name}"
+            if nested in model.functions:
+                return (model.rel, nested)
+        if name in model.functions:
+            return (model.rel, name)
+        if name in model.classes:
+            return self._resolve_method_in(model, name, "__init__")
+        if name in model.from_imports:
+            source_module, original = model.from_imports[name]
+            target = self._modules_by_dotted.get(source_module)
+            if target is not None:
+                return self._resolve_name(target, None, original, _visited)
+        return None
+
+    def _resolve_class(self, model: ModuleModel, symbol: str) -> Node | None:
+        """Class symbol -> (rel, class qualname) if it names a modeled class."""
+        name = symbol.rsplit(".", 1)[-1]
+        if name in model.classes:
+            return (model.rel, name)
+        if name in model.from_imports:
+            source_module, original = model.from_imports[name]
+            target = self._modules_by_dotted.get(source_module)
+            if target is not None and original in target.classes:
+                return (target.rel, original)
+        return None
+
+    def _resolve_method(
+        self, model: ModuleModel, class_name: str, method: str
+    ) -> Node | None:
+        return self._resolve_method_in(model, class_name, method)
+
+    def _resolve_method_in(
+        self, model: ModuleModel, class_name: str, method: str
+    ) -> Node | None:
+        seen: set[str] = set()
+        queue = deque([class_name])
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            klass = model.classes.get(current)
+            if klass is None:
+                continue
+            qualname = klass.methods.get(method)
+            if qualname is not None:
+                return (model.rel, qualname)
+            for base in klass.bases:
+                queue.append(base.rsplit(".", 1)[-1])
+        return None
+
+    def _resolve_calls(self, model: ModuleModel, info: FunctionInfo) -> list[Node]:
+        resolved: list[Node] = []
+        seen: set[Node] = set()
+        for call in info.calls:
+            node = self.resolve(model, info, call.callee)
+            if node is not None and node not in seen:
+                seen.add(node)
+                resolved.append(node)
+        return resolved
+
+    # -- propagation -----------------------------------------------------
+    def function(self, node: Node) -> FunctionInfo | None:
+        model = self.project.modules.get(node[0])
+        return model.functions.get(node[1]) if model else None
+
+    def reachable(self, root: Node) -> dict[Node, tuple[str, ...]]:
+        """BFS closure from ``root``: node -> qualname chain from root."""
+        chains: dict[Node, tuple[str, ...]] = {root: (root[1],)}
+        queue = deque([root])
+        while queue:
+            current = queue.popleft()
+            for callee in self.edges.get(current, ()):
+                if callee not in chains:
+                    chains[callee] = chains[current] + (callee[1],)
+                    queue.append(callee)
+        return chains
+
+    def reached_writes(self, root: Node) -> list[ReachedWrite]:
+        """Every module-level mutation transitively reachable from ``root``."""
+        writes: list[ReachedWrite] = []
+        for node, chain in self.reachable(root).items():
+            info = self.function(node)
+            if info is None:
+                continue
+            for write in info.global_writes:
+                writes.append(ReachedWrite(rel=node[0], write=write, chain=chain))
+        writes.sort(key=lambda r: (r.rel, r.write.line, r.write.name))
+        return writes

@@ -1,0 +1,154 @@
+"""Span-aware ``# lint: ignore[RRxxx]`` suppression.
+
+The original pragma matcher looked only at the physical line of the
+flagged AST node, so a pragma on the closing line of a multi-line call
+(or on a decorator) silently failed to suppress.  This index maps every
+pragma to its *suppression unit* -- the innermost simple statement,
+compound-statement header, or decorator expression containing it -- and
+suppresses matching findings anywhere inside that unit's line span.
+
+Usage is tracked per pragma so the linter can warn (RR007) about
+suppressions that no longer suppress anything: a stale pragma is a
+claim about the code that stopped being true, which is exactly the kind
+of rot a lint layer exists to catch.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+IGNORE_PRAGMA = re.compile(r"#\s*lint:\s*ignore\[([A-Z0-9,\s]+)\]")
+
+
+def _comment_lines(source: str) -> list[tuple[int, str]]:
+    """(line, text) of every real comment token.
+
+    Tokenizing (rather than regexing raw lines) keeps pragma syntax
+    mentioned inside string literals and docstrings from being read as
+    live pragmas.  Falls back to a raw line scan if tokenization fails
+    (the AST parse already gated out genuinely broken sources).
+    """
+    try:
+        return [
+            (token.start[0], token.string)
+            for token in tokenize.generate_tokens(io.StringIO(source).readline)
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return list(enumerate(source.splitlines(), start=1))
+
+
+@dataclass
+class Pragma:
+    """One ``# lint: ignore[...]`` comment and its suppression span."""
+
+    line: int  # physical line of the comment (1-based)
+    codes: frozenset[str]
+    start: int  # first line the pragma suppresses
+    end: int  # last line the pragma suppresses
+    used: set[str] = field(default_factory=set)
+
+
+def _header_end(node: ast.stmt) -> int:
+    """Last line of a compound statement's header expressions.
+
+    The header is everything before the indented body: condition, loop
+    iterable, ``with`` items, a ``def``'s signature.  Scanning the
+    non-statement children (recursively, stopping at nested statements)
+    finds its true end even when it wraps over several lines.
+    """
+    end = node.lineno
+
+    def scan(child: ast.AST) -> None:
+        nonlocal end
+        if isinstance(child, (ast.stmt, ast.ExceptHandler)):
+            return
+        child_end = getattr(child, "end_lineno", None)
+        if child_end is not None:
+            end = max(end, child_end)
+        for grand in ast.iter_child_nodes(child):
+            scan(grand)
+
+    for child in ast.iter_child_nodes(node):
+        scan(child)
+    return end
+
+
+def _units(tree: ast.Module) -> list[tuple[int, int]]:
+    """Suppression-unit line spans, for containment tests.
+
+    * a simple statement spans ``lineno..end_lineno``;
+    * a compound statement contributes only its *header* (``lineno``
+      through the end of its header expressions), so a pragma on a
+      ``def``/``if``/``with`` line does not blanket the whole body;
+    * each decorator expression is its own unit.
+    """
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            spans.append((node.lineno, _header_end(node)))
+            for decorator in getattr(node, "decorator_list", []):
+                spans.append(
+                    (decorator.lineno, decorator.end_lineno or decorator.lineno)
+                )
+        else:
+            spans.append((node.lineno, node.end_lineno or node.lineno))
+    return spans
+
+
+class SuppressionIndex:
+    """All pragmas of one source file, with span-aware matching."""
+
+    def __init__(self, source: str, tree: ast.Module | None = None):
+        if tree is None:
+            tree = ast.parse(source)
+        spans = _units(tree)
+        self.pragmas: list[Pragma] = []
+        for lineno, line in _comment_lines(source):
+            match = IGNORE_PRAGMA.search(line)
+            if not match:
+                continue
+            codes = frozenset(
+                code.strip() for code in match.group(1).split(",") if code.strip()
+            )
+            start = end = lineno
+            # Innermost containing unit: smallest span covering the line.
+            best: tuple[int, int] | None = None
+            for span in spans:
+                if span[0] <= lineno <= span[1]:
+                    if best is None or (span[1] - span[0]) < (best[1] - best[0]):
+                        best = span
+            if best is None:
+                # Standalone comment line: the pragma governs the next
+                # statement (the disable-next idiom), so a pragma that
+                # will not fit beside a long line can sit above it.
+                following = [span for span in spans if span[0] > lineno]
+                if following:
+                    best = min(following, key=lambda span: (span[0], span[1] - span[0]))
+            if best is not None:
+                start, end = best
+            self.pragmas.append(Pragma(lineno, codes, start, end))
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """True (and mark the pragma used) if ``code`` at ``line`` is covered."""
+        hit = False
+        for pragma in self.pragmas:
+            if code in pragma.codes and pragma.start <= line <= pragma.end:
+                pragma.used.add(code)
+                hit = True
+        return hit
+
+    def unused(self) -> list[tuple[int, str]]:
+        """(line, code) pairs of pragma codes that never suppressed anything."""
+        stale = []
+        for pragma in self.pragmas:
+            for code in sorted(pragma.codes - pragma.used):
+                stale.append((pragma.line, code))
+        return sorted(stale)

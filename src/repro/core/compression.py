@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.importance import parameter_importance
 from repro.core.ir import PauliProgram
+from repro.core.seeding import seeded_rng
 from repro.pauli import PauliSum
 
 
@@ -85,7 +86,7 @@ def random_ansatz(
     seed: int | None = None,
 ) -> CompressedAnsatz:
     """Baseline: keep a uniformly random parameter subset (program order)."""
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     keep = _kept_count(program.num_parameters, ratio)
     kept = sorted(int(k) for k in rng.choice(program.num_parameters, keep, replace=False))
     return CompressedAnsatz(

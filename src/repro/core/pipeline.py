@@ -515,6 +515,7 @@ def _restore_problem(handle: Any, slot: int, skeleton: MolecularProblem) -> Mole
         finally:
             slabs.close()
         hamiltonian = PauliSum(skeleton.num_qubits, terms)
+        # lint: ignore[RR101] - per-process memo by design; workers never share it
         _RESTORED_PROBLEMS[key] = dataclasses.replace(
             skeleton, hamiltonian=hamiltonian
         )

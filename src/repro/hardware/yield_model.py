@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.seeding import seeded_rng
 from repro.hardware.coupling import CouplingGraph
 from repro.hardware.frequency import (
     CollisionModel,
@@ -63,7 +64,7 @@ def estimate_yield(
     model = model or CollisionModel()
     if designed is None:
         designed = allocate_frequencies(graph, model)
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     sigma = FREQUENCY_SENSITIVITY * precision
     functional = 0
     for _ in range(trials):

@@ -24,7 +24,7 @@ parameter sets through one :meth:`evolve` call.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np  # lint: ignore[RR006] - host-side tables and real fast path
 
@@ -45,6 +45,9 @@ from repro.sim.statevector import (
     basis_state,
     check_engine,
 )
+
+if TYPE_CHECKING:
+    from repro.sim.expectation import ExpectationEngine
 
 #: Angles with |cos| below this fall back to the exact two-scaling
 #: update instead of the deferred-cosine ``tan`` form (tan degrades
@@ -67,7 +70,7 @@ class BatchedStatevector:
         *,
         states: Any | None = None,
         backend: str | ArrayBackend | None = None,
-    ):
+    ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
         self.num_qubits = num_qubits
@@ -318,7 +321,7 @@ class BatchedStatevector:
         """Per-row state norms (should all be ~1 after unitary evolution)."""
         return np.linalg.norm(self.backend.to_numpy(self.states), axis=1)
 
-    def expectations(self, engine) -> np.ndarray:
+    def expectations(self, engine: ExpectationEngine) -> np.ndarray:
         """Per-row ``<psi|H|psi>`` through an :class:`ExpectationEngine`."""
         return engine.values(self.states)
 
@@ -396,7 +399,7 @@ def sweep_expectations(
     paulis: Sequence[PauliString],
     angle_matrix: np.ndarray,
     reference: np.ndarray,
-    engine,
+    engine: ExpectationEngine,
     block_size: int = 8,
     *,
     backend: "str | ArrayBackend | None" = None,

@@ -27,7 +27,9 @@ _MAX_QUBITS = 12
 class DensityMatrixSimulator:
     """Propagate density matrices through circuits with optional noise."""
 
-    def __init__(self, num_qubits: int, noise: DepolarizingNoiseModel | None = None):
+    def __init__(
+        self, num_qubits: int, noise: DepolarizingNoiseModel | None = None
+    ) -> None:
         if num_qubits > _MAX_QUBITS:
             raise ValueError(
                 f"density-matrix simulation capped at {_MAX_QUBITS} qubits "

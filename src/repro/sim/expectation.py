@@ -66,7 +66,7 @@ class ExpectationEngine:
         max_bytes: int = 1 << 30,
         *,
         backend: str | ArrayBackend | None = None,
-    ):
+    ) -> None:
         self.backend = get_array_backend(backend)
         self.num_qubits = observable.num_qubits
         self.num_terms = len(observable)

@@ -30,6 +30,7 @@ def _all_indices(num_qubits: int) -> np.ndarray:
     if cached is None:
         cached = np.arange(1 << num_qubits, dtype=np.uint64)
         if num_qubits <= 24:
+            # lint: ignore[RR101] - idempotent memo: racing writers store equal values
             _INDEX_CACHE[num_qubits] = cached
     return cached
 
@@ -99,6 +100,7 @@ def cached_parity_signs(num_qubits: int, z_mask: int) -> np.ndarray:
         signs = parity_signs(num_qubits, z_mask)
         cached_bytes = sum(v.nbytes for v in _SIGNS_CACHE.values())
         if cached_bytes + signs.nbytes <= _SIGNS_CACHE_BYTE_LIMIT:
+            # lint: ignore[RR101] - idempotent memo: racing writers store equal values
             _SIGNS_CACHE[key] = signs
     return signs
 
@@ -114,6 +116,7 @@ def cached_xor_indices(num_qubits: int, x_mask: int) -> np.ndarray:
         indices = _all_indices(num_qubits) ^ np.uint64(x_mask)
         cached_bytes = sum(v.nbytes for v in _XOR_INDEX_CACHE.values())
         if cached_bytes + indices.nbytes <= _SIGNS_CACHE_BYTE_LIMIT:
+            # lint: ignore[RR101] - idempotent memo: racing writers store equal values
             _XOR_INDEX_CACHE[key] = indices
     return indices
 
@@ -138,7 +141,7 @@ class PauliEvolutionWorkspace:
     which is what eliminates the per-gate allocations of the legacy path.
     """
 
-    def __init__(self, shape: tuple[int, ...]):
+    def __init__(self, shape: tuple[int, ...]) -> None:
         self.shape = tuple(shape)
         self._a = np.empty(self.shape, dtype=complex)
 
@@ -160,7 +163,7 @@ class PauliEvolutionWorkspace:
         return self._a
 
     def apply_exponential_inplace(
-        self, pauli: PauliString, theta, state: np.ndarray
+        self, pauli: PauliString, theta: float | np.ndarray, state: np.ndarray
     ) -> np.ndarray:
         """Mutate ``state`` to ``exp(i theta P) |state>``; returns it.
 

@@ -34,6 +34,7 @@ import numpy as np  # lint: ignore[RR006] - in-place kernels are numpy-native
 
 from repro.circuit import Circuit
 from repro.circuit.gates import Gate
+from repro.core.seeding import seeded_rng
 from repro.sim.backend import ArrayBackend, get_array_backend
 
 _SQRT1_2 = 1.0 / math.sqrt(2.0)
@@ -218,7 +219,9 @@ def _apply_unitary_backend(
 # ----------------------------------------------------------------------
 # In-place engine: index-slice kernels on the [2]*n tensor view
 # ----------------------------------------------------------------------
-def _qubit_slabs(tensor: np.ndarray, num_qubits: int, qubit: int):
+def _qubit_slabs(
+    tensor: np.ndarray, num_qubits: int, qubit: int
+) -> tuple[np.ndarray, np.ndarray]:
     """The two amplitude slabs (views) selected by ``qubit``.
 
     ``tensor`` has shape ``batch + [2]*num_qubits``; qubit ``q`` lives on
@@ -232,7 +235,9 @@ def _qubit_slabs(tensor: np.ndarray, num_qubits: int, qubit: int):
     return slab0, tensor[tuple(index)]
 
 
-def _pair_slabs(tensor: np.ndarray, num_qubits: int, qubit_a: int, qubit_b: int):
+def _pair_slabs(
+    tensor: np.ndarray, num_qubits: int, qubit_a: int, qubit_b: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """The four slabs ``T[bit_b, bit_a]`` (views) for a two-qubit gate.
 
     Returned in gate-matrix index order ``(bit_b << 1) | bit_a`` (the
@@ -247,7 +252,7 @@ def _pair_slabs(tensor: np.ndarray, num_qubits: int, qubit_a: int, qubit_b: int)
         index[axis_a] = code & 1
         index[axis_b] = (code >> 1) & 1
         slabs.append(tensor[tuple(index)])
-    return slabs
+    return slabs[0], slabs[1], slabs[2], slabs[3]
 
 
 def _combine_single(slab0: np.ndarray, slab1: np.ndarray, matrix: np.ndarray) -> None:
@@ -312,7 +317,7 @@ def apply_gate_inplace(state: np.ndarray, gate: Gate, num_qubits: int) -> np.nda
             # within the control=1 half, i.e. swap T[b=0,a=1] <-> T[b=1,a=1].
             _swap_slabs(slabs[1], slabs[3])
         elif name == "cz":
-            slabs[3] *= -1.0
+            np.multiply(slabs[3], -1.0, out=slabs[3])
         elif name == "swap":
             _swap_slabs(slabs[1], slabs[2])
         else:
@@ -489,7 +494,7 @@ class StatevectorSimulator:
         engine: str = "inplace",
         *,
         backend: str | ArrayBackend | None = None,
-    ):
+    ) -> None:
         self.num_qubits = num_qubits
         self.engine = check_engine(engine)
         self.backend = get_array_backend(backend)
@@ -502,7 +507,7 @@ class StatevectorSimulator:
         self.state = self.backend.asarray(
             basis_state(num_qubits), dtype=self.backend.complex_dtype
         )
-        self._rng = np.random.default_rng(seed)
+        self._rng = seeded_rng(seed)
 
     def reset(self) -> "StatevectorSimulator":
         self.state = self.backend.asarray(

@@ -32,11 +32,12 @@ import math
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterable
 
 import numpy as np  # lint: ignore[RR006] - host-side sampling and reductions
 
 from repro.circuit import Circuit
+from repro.core.seeding import seeded_rng, spawn_seeds
 from repro.pauli import PauliString, PauliSum
 from repro.sim.backend import ArrayBackend, get_array_backend
 from repro.sim.batched import BatchedStatevector
@@ -98,6 +99,7 @@ def channel_paulis(num_qubits: int, qubits: tuple[int, ...]) -> list[PauliString
                 if local.op_on(position) != "I"
             }
             cached.append(PauliString.from_ops(num_qubits, ops))
+        # lint: ignore[RR101] - idempotent memo: racing writers store equal values
         _CHANNEL_CACHE[key] = cached
     return cached
 
@@ -149,7 +151,7 @@ class TrajectorySimulator:
         seed: int | None = None,
         rng: np.random.Generator | None = None,
         backend: str | ArrayBackend | None = None,
-    ):
+    ) -> None:
         if trajectories < 1:
             raise ValueError("trajectories must be at least 1")
         self.num_qubits = num_qubits
@@ -157,7 +159,7 @@ class TrajectorySimulator:
         self.trajectories = trajectories
         self.backend = get_array_backend(backend)
         self.batch = BatchedStatevector(num_qubits, trajectories, backend=self.backend)
-        self._rng = rng if rng is not None else np.random.default_rng(seed)
+        self._rng = rng if rng is not None else seeded_rng(seed)
         #: Total error Paulis injected across all trajectories by ``run``
         #: calls since construction/reset (diagnostic: expected value is
         #: ``trajectories * sum_gates p_gate``).
@@ -263,7 +265,9 @@ def _block_plan(trajectories: int, block_size: int) -> list[int]:
     return [block_size] * full + ([tail] if tail else [])
 
 
-def _spawn_block_seeds(seed, count: int) -> list[np.random.SeedSequence]:
+def _spawn_block_seeds(
+    seed: int | np.random.SeedSequence | None, count: int
+) -> list[np.random.SeedSequence]:
     """One independent child :class:`~numpy.random.SeedSequence` per block.
 
     Spawning (instead of streaming one generator through the blocks in
@@ -271,13 +275,10 @@ def _spawn_block_seeds(seed, count: int) -> list[np.random.SeedSequence]:
     executor runs it and of how blocks are distributed over workers:
     block ``i`` always draws from child ``i`` of the same root, so
     serial, threaded, and process runs are bit-identical given
-    ``(seed, trajectories, block_size)``.
+    ``(seed, trajectories, block_size)``.  Delegates to the audited
+    normalization in :mod:`repro.core.seeding`.
     """
-    if isinstance(seed, np.random.SeedSequence):
-        root = seed
-    else:
-        root = np.random.SeedSequence(seed)
-    return root.spawn(count)
+    return spawn_seeds(seed, count)
 
 
 def _run_one_block(
@@ -335,7 +336,7 @@ def _run_blocks(
     engine: ExpectationEngine,
     noise: DepolarizingNoiseModel | None,
     trajectories: int,
-    seed,
+    seed: int | np.random.SeedSequence | None,
     block_size: int,
     initial_state: np.ndarray | None,
     *,
@@ -366,7 +367,7 @@ def _run_blocks(
     values = np.empty(trajectories)
     events = 0
 
-    def _store(results) -> None:
+    def _store(results: Iterable[tuple[np.ndarray, int]]) -> None:
         nonlocal events
         done = 0
         for (block_values, block_events), block in zip(results, sizes):
@@ -423,7 +424,7 @@ def trajectory_expectations(
     noise: DepolarizingNoiseModel | None = None,
     *,
     trajectories: int = 256,
-    seed=None,
+    seed: int | np.random.SeedSequence | None = None,
     block_size: int = DEFAULT_BLOCK_SIZE,
     initial_state: np.ndarray | None = None,
     executor: str = "serial",
@@ -455,7 +456,7 @@ def trajectory_estimate(
     noise: DepolarizingNoiseModel | None = None,
     *,
     trajectories: int = 256,
-    seed=None,
+    seed: int | np.random.SeedSequence | None = None,
     block_size: int = DEFAULT_BLOCK_SIZE,
     initial_state: np.ndarray | None = None,
     executor: str = "serial",

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.bits import popcount
 from repro.core.ir import PauliProgram
+from repro.core.seeding import seeded_rng
 from repro.pauli import PauliString, PauliSum
 from repro.sim.backend import ArrayBackend, get_array_backend
 from repro.sim.density_matrix import DensityMatrixSimulator
@@ -320,7 +321,7 @@ class SamplingEnergy:
         self.shots_per_group = shots_per_group
         self.groups: list[MeasurementGroup] = group_commuting_terms(hamiltonian)
         self._reference = _initial_state(program)
-        self._rng = np.random.default_rng(seed)
+        self._rng = seeded_rng(seed)
         self.evaluations = 0
 
     @property

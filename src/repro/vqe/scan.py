@@ -123,6 +123,7 @@ def _scan_point_task(task: tuple[str, float, str, dict[str, Any]]) -> ScanPoint:
     full_program = build_uccsd_program(problem).program
     key = (molecule, bond_length)
     if key not in _EXACT_CACHE:
+        # lint: ignore[RR101] - idempotent memo: racing writers store equal values
         _EXACT_CACHE[key] = ground_state_energy(problem.hamiltonian)
     exact = _EXACT_CACHE[key]
     program, label = _configure_program(

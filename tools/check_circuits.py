@@ -94,6 +94,14 @@ def main(argv: list[str] | None = None) -> int:
         "--report", type=Path, default=None, help="write findings as JSON here"
     )
     parser.add_argument(
+        "--lint",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="merge a lint_repro JSON report (tools/lint_repro.py "
+        "--format=json --output PATH) into --report",
+    )
+    parser.add_argument(
         "--no-corpus",
         action="store_true",
         help="skip the benchmarks/corpus/ sanitization sweep",
@@ -124,12 +132,13 @@ def main(argv: list[str] | None = None) -> int:
                           f"{diagnostic['message']}")
 
     if args.report is not None:
-        args.report.write_text(
-            json.dumps(
-                {"ratio": args.ratio, "artifacts": rows, "failures": failures},
-                indent=2,
-            )
-        )
+        report: dict = {"ratio": args.ratio, "artifacts": rows, "failures": failures}
+        if args.lint is not None and args.lint.is_file():
+            # One ANALYSIS_report.json covers both halves of the static
+            # layer: artifact sanitization here, source lint from
+            # tools/lint_repro.py.
+            report["lint"] = json.loads(args.lint.read_text())
+        args.report.write_text(json.dumps(report, indent=2))
         print(f"report written to {args.report}", file=sys.stderr)
 
     print(

@@ -30,28 +30,53 @@ RR006  direct ``import numpy`` in a ``sim/`` hot-path module outside
        CuPy/torch backends stay drop-in; host-side code that is numpy
        by design (index tables, in-place kernels) carries a pragma
        naming the reason.
+RR007  stale suppression pragma: a ``# lint: ignore[...]`` whose code
+       never suppressed anything in this run.  Reported as a warning;
+       does not gate the build.
 
-Suppress a finding with a ``# lint: ignore[RR001]`` comment on the line
-(multiple codes comma-separated).  Exit status is 1 when any finding
-remains, so the tool gates CI.
+The project-level RR1xx analyzers (concurrency safety, determinism,
+backend purity -- see ``repro.analysis.static`` and docs/analysis.md)
+also run through this tool whenever the linted paths overlap
+``src/repro``, so one invocation covers both rule families.
+
+Suppress a finding with a ``# lint: ignore[RR001] - reason`` comment on
+the offending statement (multiple codes comma-separated).  Suppression
+is *span-aware*: a pragma anywhere inside a multi-line statement, on a
+decorator, or on a standalone comment line directly above the statement
+all work.  Exit status is 1 when any error-severity finding remains, so
+the tool gates CI.
 
 Usage:
-    python tools/lint_repro.py              # lint src/repro
-    python tools/lint_repro.py path ...     # lint specific files/dirs
+    python tools/lint_repro.py                      # lint src/repro
+    python tools/lint_repro.py path ...             # specific files/dirs
+    python tools/lint_repro.py --format=github      # CI annotations
+    python tools/lint_repro.py --format=json --output lint_repro.json
+    python tools/lint_repro.py --update-baseline    # accept current debt
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import json
 import re
 import sys
+from collections import Counter
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_TARGET = REPO_ROOT / "src" / "repro"
+DEFAULT_BASELINE = REPO_ROOT / "tools" / "lint_baseline.json"
+
+_SRC = str(REPO_ROOT / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.analysis.static.model import load_project  # noqa: E402
+from repro.analysis.static.rules import analyze_project  # noqa: E402
+from repro.analysis.static.suppress import SuppressionIndex  # noqa: E402
 
 #: Names whose truthiness is ambiguous because the objects they
 #: conventionally hold define ``__len__`` (RR001).
@@ -83,7 +108,8 @@ PRIVATE_REGISTRIES = {
     "_COMPILE_CACHE": "src/repro/core/cache.py",
 }
 
-IGNORE_PRAGMA = re.compile(r"#\s*lint:\s*ignore\[([A-Z0-9,\s]+)\]")
+#: Codes reported as warnings: shown, never gate the build.
+WARNING_CODES = {"RR007"}
 
 
 @dataclass(frozen=True)
@@ -93,23 +119,48 @@ class Finding:
     line: int
     message: str
 
-    def format(self) -> str:
-        rel = self.path.resolve()
+    @property
+    def severity(self) -> str:
+        return "warning" if self.code in WARNING_CODES else "error"
+
+    def rel(self) -> str:
+        resolved = self.path.resolve()
         try:
-            rel = rel.relative_to(REPO_ROOT)
+            return resolved.relative_to(REPO_ROOT).as_posix()
         except ValueError:
-            pass
-        return f"{rel}:{self.line}: {self.code} {self.message}"
+            return self.path.as_posix()
 
+    def format(self) -> str:
+        return f"{self.rel()}:{self.line}: {self.code} {self.message}"
 
-def _suppressed_codes(source_lines: list[str], line: int) -> set[str]:
-    """Codes suppressed via ``# lint: ignore[...]`` on ``line`` (1-based)."""
-    if not 1 <= line <= len(source_lines):
-        return set()
-    match = IGNORE_PRAGMA.search(source_lines[line - 1])
-    if not match:
-        return set()
-    return {code.strip() for code in match.group(1).split(",") if code.strip()}
+    def format_github(self) -> str:
+        kind = self.severity
+        return (
+            f"::{kind} file={self.rel()},line={self.line}::"
+            f"{self.code} {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "path": self.rel(),
+            "line": self.line,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def fingerprint(self) -> dict[str, str]:
+        """Line-independent identity used by the baseline mechanism.
+
+        Line numbers shift on unrelated edits, so the baseline keys on
+        (code, path, message) with any ``path:line`` references inside
+        the message normalized.
+        """
+        return {
+            "code": self.code,
+            "path": self.rel(),
+            "message": re.sub(r":\d+", ":*", self.message),
+        }
 
 
 def _name_of(node: ast.expr) -> str | None:
@@ -275,25 +326,38 @@ class _Visitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def _lint_source_raw(
+    source: str, path: Path, rel: str
+) -> tuple[list[Finding], SuppressionIndex | None]:
+    """Raw per-file findings plus the file's suppression index.
+
+    Suppression is *not* applied here; callers share the returned index
+    across the per-file and project-level passes so that pragma usage
+    (and hence RR007 staleness) is computed over both rule families.
+    """
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        finding = Finding("RR000", path, exc.lineno or 1, f"syntax error: {exc.msg}")
+        return [finding], None
+    visitor = _Visitor(path, rel)
+    visitor.visit(tree)
+    return visitor.findings, SuppressionIndex(source, tree)
+
+
 def lint_source(source: str, path: Path, rel: str) -> list[Finding]:
     """Lint ``source`` as if it lived at repo-relative path ``rel``.
 
     Split out from :func:`lint_file` so tests can exercise the
     path-scoped rules (RR002/RR003/RR005) without writing into the
-    source tree.
+    source tree.  Returns the unsuppressed per-file findings; the
+    project-level RR1xx pass and RR007 staleness run only in
+    :func:`main`, where whole-program context exists.
     """
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [Finding("RR000", path, exc.lineno or 1, f"syntax error: {exc.msg}")]
-    visitor = _Visitor(path, rel)
-    visitor.visit(tree)
-    lines = source.splitlines()
-    return [
-        f
-        for f in visitor.findings
-        if f.code not in _suppressed_codes(lines, f.line)
-    ]
+    findings, index = _lint_source_raw(source, path, rel)
+    if index is None:
+        return findings
+    return [f for f in findings if not index.is_suppressed(f.code, f.line)]
 
 
 def lint_file(path: Path) -> list[Finding]:
@@ -313,6 +377,104 @@ def iter_python_files(targets: Iterable[Path]) -> Iterator[Path]:
             yield target
 
 
+def _load_baseline(path: Path) -> list[dict[str, str]]:
+    if not path.is_file():
+        return []
+    data = json.loads(path.read_text())
+    return list(data.get("findings", []))
+
+
+def run_lint(
+    paths: Iterable[Path],
+    *,
+    project_root: Path = REPO_ROOT,
+    with_project_rules: bool = True,
+) -> tuple[list[Finding], int]:
+    """Both lint passes over ``paths``; returns (findings, files linted).
+
+    Per-file rules (RR001-RR006) run on every requested file.  When any
+    requested file sits under ``src/repro``, the whole-program RR1xx
+    analyzers run over the full package model and their findings are
+    filtered down to the requested files.  RR007 (stale pragma) is
+    computed last, against the pragma usage of *both* passes.
+    """
+    indexes: dict[str, SuppressionIndex] = {}
+    rel_to_path: dict[str, Path] = {}
+    findings: list[Finding] = []
+    count = 0
+
+    for path in iter_python_files(paths):
+        count += 1
+        try:
+            rel = path.resolve().relative_to(project_root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        raw, index = _lint_source_raw(path.read_text(), path, rel)
+        rel_to_path[rel] = path
+        if index is not None:
+            indexes[rel] = index
+            raw = [f for f in raw if not index.is_suppressed(f.code, f.line)]
+        findings.extend(raw)
+
+    requested = set(rel_to_path)
+    in_scope = {rel for rel in requested if rel.startswith("src/repro/")}
+    if with_project_rules and in_scope:
+        project = load_project(project_root)
+        for rule_finding in analyze_project(project):
+            index = indexes.get(rule_finding.rel)
+            if index is None:
+                module = project.modules.get(rule_finding.rel)
+                if module is not None:
+                    index = SuppressionIndex(module.source, module.tree)
+                    indexes[rule_finding.rel] = index
+            # Mark pragma usage even for out-of-request files so RR007
+            # never fires on a pragma that does suppress something.
+            if index is not None and index.is_suppressed(
+                rule_finding.code, rule_finding.line
+            ):
+                continue
+            if rule_finding.rel not in requested:
+                continue
+            findings.append(
+                Finding(
+                    rule_finding.code,
+                    rel_to_path.get(
+                        rule_finding.rel, project_root / rule_finding.rel
+                    ),
+                    rule_finding.line,
+                    rule_finding.message,
+                )
+            )
+
+    for rel in sorted(requested):
+        index = indexes.get(rel)
+        if index is None:
+            continue
+        for line, code in index.unused():
+            findings.append(
+                Finding(
+                    "RR007",
+                    rel_to_path[rel],
+                    line,
+                    f"stale pragma: '# lint: ignore[{code}]' suppressed "
+                    "nothing in this run; delete it or re-justify it",
+                )
+            )
+
+    findings.sort(key=lambda f: (f.rel(), f.line, f.code, f.message))
+    return findings, count
+
+
+def _report(findings: list[Finding], files: int) -> dict[str, object]:
+    return {
+        "tool": "lint_repro",
+        "files": files,
+        "errors": sum(1 for f in findings if f.severity == "error"),
+        "warnings": sum(1 for f in findings if f.severity == "warning"),
+        "findings": [f.to_dict() for f in findings],
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -322,21 +484,88 @@ def main(argv: list[str] | None = None) -> int:
         default=[DEFAULT_TARGET],
         help="files or directories to lint (default: src/repro)",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "github", "json"),
+        default="text",
+        help="output style: human text, GitHub workflow annotations, "
+        "or a JSON report on stdout",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the JSON report to PATH (any --format)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        metavar="PATH",
+        help="baseline file of accepted findings (default: "
+        "tools/lint_baseline.json)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept every current finding",
+    )
+    parser.add_argument(
+        "--no-project-rules",
+        action="store_true",
+        help="skip the whole-program RR1xx analyzers (per-file rules only)",
+    )
     args = parser.parse_args(argv)
 
-    findings: list[Finding] = []
-    count = 0
-    for path in iter_python_files(args.paths):
-        count += 1
-        findings.extend(lint_file(path))
+    findings, count = run_lint(
+        args.paths, with_project_rules=not args.no_project_rules
+    )
 
+    if args.update_baseline:
+        accepted = [
+            f.fingerprint() for f in findings if f.severity == "error"
+        ]
+        args.baseline.write_text(
+            json.dumps({"findings": accepted}, indent=2) + "\n"
+        )
+        print(
+            f"lint_repro: baseline updated with {len(accepted)} finding(s)",
+            file=sys.stderr,
+        )
+        return 0
+
+    baseline = _load_baseline(args.baseline)
+    # Multiset semantics: each baselined entry absorbs one occurrence, so
+    # a *second* instance of an already-baselined finding still surfaces.
+    budget = Counter(json.dumps(fp, sort_keys=True) for fp in baseline)
+    fresh = []
     for finding in findings:
-        print(finding.format())
+        key = json.dumps(finding.fingerprint(), sort_keys=True)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        else:
+            fresh.append(finding)
+
+    report = _report(fresh, count)
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        for finding in fresh:
+            print(
+                finding.format_github()
+                if args.format == "github"
+                else finding.format()
+            )
+    if args.output is not None:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(
-        f"lint_repro: {count} file(s), {len(findings)} finding(s)",
+        f"lint_repro: {count} file(s), {report['errors']} error(s), "
+        f"{report['warnings']} warning(s)"
+        + (f", {len(baseline)} baselined" if baseline else ""),
         file=sys.stderr,
     )
-    return 1 if findings else 0
+    return 1 if report["errors"] else 0
 
 
 if __name__ == "__main__":
